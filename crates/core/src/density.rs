@@ -1,0 +1,264 @@
+//! The rule density curve (paper Section 5.2).
+//!
+//! Every grammar-rule occurrence covers a span of the token sequence;
+//! through the numerosity-reduction offsets each token run maps back to an
+//! interval of the original series. The density curve counts, per series
+//! point, how many rule occurrences cover it. Subsequences never covered by
+//! a rule are incompressible — the anomaly candidates.
+
+use egi_sax::NumerosityReduced;
+use egi_sequitur::Grammar;
+
+/// A rule density curve over a time series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleDensityCurve {
+    /// Coverage count (or normalized coverage) per series point.
+    pub values: Vec<f64>,
+}
+
+impl RuleDensityCurve {
+    /// Builds the curve for `series_len` points from a grammar and the
+    /// token/offset map that produced it.
+    ///
+    /// A rule occurrence covering tokens `[s, s+len)` maps to the series
+    /// interval from the first covered window's start to the last covered
+    /// window's end:
+    /// `[offset(s), offset(s + len − 1) + window)` — the GrammarViz
+    /// convention. Interval additions use a difference array, so the build
+    /// is `O(occurrences + series_len)`.
+    pub fn build(grammar: &Grammar, nr: &NumerosityReduced, series_len: usize) -> Self {
+        let mut diff = vec![0.0f64; series_len + 1];
+        for occ in grammar.occurrences() {
+            debug_assert!(occ.len >= 1);
+            let first_tok = occ.start;
+            let last_tok = occ.start + occ.len - 1;
+            if last_tok >= nr.len() {
+                debug_assert!(false, "occurrence beyond token sequence");
+                continue;
+            }
+            let lo = nr.tokens[first_tok].offset;
+            let hi = (nr.tokens[last_tok].offset + nr.window).min(series_len);
+            if lo < hi {
+                diff[lo] += 1.0;
+                diff[hi] -= 1.0;
+            }
+        }
+        let mut values = Vec::with_capacity(series_len);
+        let mut acc = 0.0;
+        for d in diff.iter().take(series_len) {
+            acc += d;
+            values.push(acc);
+        }
+        Self { values }
+    }
+
+    /// Curve length (= series length).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` for an empty curve.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Population standard deviation of the curve — the ensemble's curve
+    /// quality score (Algorithm 1, line 7).
+    pub fn stddev(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        egi_tskit::stats::stddev_population(&self.values)
+    }
+
+    /// Divides by the maximum so values land in `[0, 1]` (Algorithm 1,
+    /// line 11). Deliberately *not* min–max normalization: zeros — the
+    /// never-covered points — must stay exactly zero (Section 6.1.2).
+    /// A flat-zero curve is left untouched.
+    pub fn normalize_by_max(&mut self) {
+        let max = self.values.iter().cloned().fold(0.0f64, f64::max);
+        if max > 0.0 {
+            for v in self.values.iter_mut() {
+                *v /= max;
+            }
+        }
+    }
+
+    /// Corrects the boundary attenuation of the raw curve.
+    ///
+    /// A point near the series edge lies inside fewer sliding windows, so
+    /// even perfectly regular data shows lower rule density there — an
+    /// artifact that competes with real anomalies once candidates are
+    /// ranked globally. Dividing each point by the number of windows that
+    /// *can* cover it (`min(t+1, n, N−t, N−n+1)`) levels the playing
+    /// field. The paper does not apply this (its anomalies are planted at
+    /// 40–80% of the series, where the artifact is invisible); the
+    /// multi-window extension does.
+    pub fn correct_edge_coverage(&mut self, window: usize) {
+        let n = self.values.len();
+        if window == 0 || n == 0 {
+            return;
+        }
+        let max_windows = n.saturating_sub(window) + 1;
+        for (t, v) in self.values.iter_mut().enumerate() {
+            let covering = (t + 1).min(window).min(n - t).min(max_windows);
+            if covering > 0 {
+                *v *= max_windows.min(window) as f64 / covering as f64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egi_sax::{numerosity_reduce, SaxWord};
+    use egi_sequitur::induce;
+
+    /// Builds an NR sequence where token i sits at offset i (no runs).
+    fn identity_nr(words: &[u32], window: usize) -> NumerosityReduced {
+        numerosity_reduce(
+            words.iter().map(|&w| SaxWord(vec![w as u8, (w >> 8) as u8])).collect(),
+            window,
+        )
+    }
+
+    #[test]
+    fn incompressible_gap_has_zero_density() {
+        // Section 3.2 pattern with a wide gap: a repeated motif 0,1,2
+        // around four unique tokens 9,8,7,6. The rule occurrences cover
+        // [offset(0), offset(2)+2) = [0, 4) and [offset(7), offset(9)+2) =
+        // [7, 11); the gap interior [4, 7) is covered by no rule.
+        let tokens = [0u32, 1, 2, 9, 8, 7, 6, 0, 1, 2];
+        let nr = identity_nr(&tokens, 2);
+        let g = induce(tokens.iter().copied());
+        let curve = RuleDensityCurve::build(&g, &nr, 11);
+        assert_eq!(curve.len(), 11);
+        for t in 4..7 {
+            assert_eq!(curve.values[t], 0.0, "gap point {t}: {:?}", curve.values);
+        }
+        assert!(curve.values[0] > 0.0);
+        assert!(curve.values[10] > 0.0);
+    }
+
+    #[test]
+    fn fully_repetitive_sequence_is_fully_covered() {
+        let tokens: Vec<u32> = std::iter::repeat_n([0u32, 1], 10).flatten().collect();
+        let nr = identity_nr(&tokens, 3);
+        let g = induce(tokens.iter().copied());
+        let curve = RuleDensityCurve::build(&g, &nr, tokens.len() + 2);
+        // Every point inside the covered range has positive density.
+        let interior = &curve.values[1..curve.len() - 1];
+        assert!(
+            interior.iter().all(|&v| v > 0.0),
+            "gaps in repetitive coverage: {:?}",
+            curve.values
+        );
+    }
+
+    #[test]
+    fn no_rules_means_flat_zero_curve() {
+        let tokens = [0u32, 1, 2, 3, 4];
+        let nr = identity_nr(&tokens, 2);
+        let g = induce(tokens.iter().copied());
+        let curve = RuleDensityCurve::build(&g, &nr, 6);
+        assert!(curve.values.iter().all(|&v| v == 0.0));
+        assert_eq!(curve.stddev(), 0.0);
+    }
+
+    #[test]
+    fn normalize_by_max_keeps_zeros() {
+        let mut curve = RuleDensityCurve {
+            values: vec![0.0, 2.0, 4.0, 0.0],
+        };
+        curve.normalize_by_max();
+        assert_eq!(curve.values, vec![0.0, 0.5, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn normalize_flat_zero_is_noop() {
+        let mut curve = RuleDensityCurve {
+            values: vec![0.0; 4],
+        };
+        curve.normalize_by_max();
+        assert_eq!(curve.values, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn offsets_shift_coverage() {
+        // Two tokens with a run: ba,ba,ba,dc → NR ba@0, dc@3. Rules: none
+        // (no repeats), so zero curve; but with repeats the offsets matter.
+        let words = vec![
+            SaxWord(vec![9]),
+            SaxWord(vec![9]),
+            SaxWord(vec![9]),
+            SaxWord(vec![7]),
+            SaxWord(vec![9]),
+            SaxWord(vec![9]),
+            SaxWord(vec![7]),
+        ];
+        let nr = numerosity_reduce(words, 2);
+        // NR tokens: 9@0, 7@3, 9@4, 7@6 → interned 0,1,0,1.
+        let tokens = crate::intern::intern_tokens(&nr);
+        assert_eq!(tokens, vec![0, 1, 0, 1]);
+        let g = induce(tokens);
+        let curve = RuleDensityCurve::build(&g, &nr, 8);
+        // Rule (0,1) occurs at token spans [0,2) → series [0, 3+2=5) and
+        // [2,4) → series [4, 6+2=8).
+        assert!(curve.values[0] > 0.0);
+        assert!(curve.values[7] > 0.0);
+    }
+
+    #[test]
+    fn stddev_of_varied_curve_positive() {
+        let curve = RuleDensityCurve {
+            values: vec![0.0, 1.0, 3.0, 1.0, 0.0],
+        };
+        assert!(curve.stddev() > 0.0);
+    }
+
+    #[test]
+    fn edge_correction_flattens_uniform_coverage() {
+        // A single rule covering every window of a length-10 series with
+        // window 3 produces the classic ramp 1,2,3,3,...,3,2,1 (scaled).
+        // After correction the curve must be flat.
+        let n = 10;
+        let window = 3;
+        let mut values = vec![0.0; n];
+        for (t, v) in values.iter_mut().enumerate() {
+            let covering = (t + 1).min(window).min(n - t).min(n - window + 1);
+            *v = covering as f64;
+        }
+        let mut curve = RuleDensityCurve { values };
+        curve.correct_edge_coverage(window);
+        let first = curve.values[0];
+        assert!(
+            curve.values.iter().all(|&v| (v - first).abs() < 1e-9),
+            "not flat: {:?}",
+            curve.values
+        );
+    }
+
+    #[test]
+    fn edge_correction_keeps_zeros_zero() {
+        let mut curve = RuleDensityCurve {
+            values: vec![0.0, 2.0, 0.0, 2.0, 0.0],
+        };
+        curve.correct_edge_coverage(2);
+        assert_eq!(curve.values[0], 0.0);
+        assert_eq!(curve.values[2], 0.0);
+        assert_eq!(curve.values[4], 0.0);
+    }
+
+    #[test]
+    fn edge_correction_degenerate_inputs() {
+        let mut empty = RuleDensityCurve { values: vec![] };
+        empty.correct_edge_coverage(4);
+        assert!(empty.is_empty());
+        let mut c = RuleDensityCurve {
+            values: vec![1.0, 1.0],
+        };
+        c.correct_edge_coverage(0);
+        assert_eq!(c.values, vec![1.0, 1.0]);
+    }
+}

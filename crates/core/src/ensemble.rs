@@ -1,0 +1,461 @@
+//! Ensemble grammar induction (paper Section 6, Algorithm 1).
+//!
+//! Instead of betting on one `(w, a)` discretization, run `N` members with
+//! random distinct parameter pairs, score each member's rule density curve
+//! by its standard deviation, keep the top `τ·N` curves, normalize each to
+//! `[0, 1]` by its maximum, and combine point-wise with the median. Members
+//! share the prefix-sum statistics and the merged breakpoint table, so the
+//! whole ensemble stays linear in the series length; members execute on a
+//! thread pool (`crossbeam::scope`) since they are fully independent.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use egi_sax::{FastSax, MultiResBreakpoints, SaxConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::density::RuleDensityCurve;
+use crate::detector::{rank_anomalies, AnomalyReport};
+use crate::single::{GiConfig, SingleGiDetector};
+
+/// How the kept, normalized curves are merged into one.
+///
+/// The paper uses the median; mean and min are provided for the ablation
+/// benches (DESIGN.md "Design notes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Combiner {
+    /// Point-wise median (the paper's choice, robust to outlier members).
+    #[default]
+    Median,
+    /// Point-wise arithmetic mean.
+    Mean,
+    /// Point-wise minimum (aggressively favors anomaly agreement: one
+    /// member voting "uncovered" zeroes the point).
+    Min,
+    /// Point-wise maximum (conservative: any member covering a point
+    /// counts it as covered).
+    Max,
+}
+
+impl Combiner {
+    fn combine(self, column: &mut [f64]) -> f64 {
+        debug_assert!(!column.is_empty());
+        match self {
+            Combiner::Median => {
+                let mid = column.len() / 2;
+                column
+                    .select_nth_unstable_by(mid, |x, y| x.partial_cmp(y).expect("finite density"));
+                let hi = column[mid];
+                if column.len() % 2 == 1 {
+                    hi
+                } else {
+                    let lo = column[..mid]
+                        .iter()
+                        .cloned()
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    0.5 * (lo + hi)
+                }
+            }
+            Combiner::Mean => column.iter().sum::<f64>() / column.len() as f64,
+            Combiner::Min => column.iter().cloned().fold(f64::INFINITY, f64::min),
+            Combiner::Max => column.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// Configuration of the ensemble detector (paper defaults in
+/// [`Default`]: `N = 50`, `wmax = amax = 10`, `τ = 40%`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnsembleConfig {
+    /// Sliding-window length `n`.
+    pub window: usize,
+    /// Ensemble size `N`: how many `(w, a)` pairs are drawn.
+    pub ensemble_size: usize,
+    /// Maximum PAA size; members draw `w ∈ [2, wmax]`.
+    pub wmax: usize,
+    /// Maximum alphabet size; members draw `a ∈ [2, amax]`.
+    pub amax: usize,
+    /// Ensemble selectivity `τ ∈ (0, 1]`: fraction of curves kept.
+    pub selectivity: f64,
+    /// Curve combination operator.
+    pub combiner: Combiner,
+    /// Run members on a thread pool.
+    pub parallel: bool,
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> Self {
+        Self {
+            window: 128,
+            ensemble_size: 50,
+            wmax: 10,
+            amax: 10,
+            selectivity: 0.4,
+            combiner: Combiner::Median,
+            parallel: true,
+        }
+    }
+}
+
+/// The ensemble grammar-induction anomaly detector (Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct EnsembleDetector {
+    config: EnsembleConfig,
+}
+
+/// Per-member ensemble diagnostics (see [`EnsembleDetector::diagnostics`]).
+#[derive(Debug, Clone)]
+pub struct MemberDiagnostics {
+    /// The drawn `(w, a)` pairs, in member order.
+    pub params: Vec<SaxConfig>,
+    /// Raw (unnormalized) rule density curves, in member order.
+    pub curves: Vec<RuleDensityCurve>,
+    /// Standard deviation of each curve (the quality score).
+    pub stds: Vec<f64>,
+    /// Indices of the members kept by the τ filter, best first.
+    pub kept: Vec<usize>,
+}
+
+impl EnsembleDetector {
+    /// Creates a detector, validating the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty parameter space (`wmax < 2` or `amax < 2`),
+    /// `ensemble_size == 0`, a selectivity outside `(0, 1]`, or a window
+    /// shorter than 2 points.
+    pub fn new(config: EnsembleConfig) -> Self {
+        assert!(config.window >= 2, "window must be at least 2");
+        assert!(config.ensemble_size > 0, "ensemble size must be positive");
+        assert!(config.wmax >= 2 && config.amax >= 2, "wmax/amax must be ≥ 2");
+        assert!(
+            config.selectivity > 0.0 && config.selectivity <= 1.0,
+            "selectivity must be in (0, 1]"
+        );
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> EnsembleConfig {
+        self.config
+    }
+
+    /// Draws the member parameter pairs for `seed`: up to `N` distinct
+    /// `(w, a)` with `w ∈ [2, min(wmax, window)]`, `a ∈ [2, amax]`
+    /// (Algorithm 1 lines 4–5; "any w, a combination is used only once").
+    pub fn member_params(&self, seed: u64) -> Vec<SaxConfig> {
+        let w_hi = self.config.wmax.min(self.config.window);
+        let mut pairs: Vec<SaxConfig> = (2..=w_hi)
+            .flat_map(|w| (2..=self.config.amax).map(move |a| SaxConfig::new(w, a)))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        pairs.shuffle(&mut rng);
+        pairs.truncate(self.config.ensemble_size);
+        pairs
+    }
+
+    /// Computes one rule density curve per member parameter pair.
+    ///
+    /// Curves come back in `params` order regardless of scheduling.
+    pub fn member_curves(&self, series: &[f64], params: &[SaxConfig]) -> Vec<RuleDensityCurve> {
+        let fast = FastSax::new(series);
+        let multi = MultiResBreakpoints::new(self.config.amax);
+        let run = |cfg: SaxConfig| {
+            SingleGiDetector::new(GiConfig {
+                window: self.config.window,
+                sax: cfg,
+            })
+            .density_curve(&fast, &multi)
+        };
+
+        let threads = if self.config.parallel {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            1
+        };
+        if threads <= 1 || params.len() < 2 {
+            return params.iter().map(|&cfg| run(cfg)).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<RuleDensityCurve>>> =
+            params.iter().map(|_| Mutex::new(None)).collect();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads.min(params.len()) {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= params.len() {
+                        break;
+                    }
+                    let curve = run(params[i]);
+                    *results[i].lock().expect("no poisoning: run cannot panic") = Some(curve);
+                });
+            }
+        })
+        .expect("ensemble worker panicked");
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("lock poisoned").expect("slot filled"))
+            .collect()
+    }
+
+    /// Algorithm 1: builds the ensemble rule density curve.
+    pub fn ensemble_curve(&self, series: &[f64], seed: u64) -> RuleDensityCurve {
+        let params = self.member_params(seed);
+        let curves = self.member_curves(series, &params);
+        self.combine_curves(curves)
+    }
+
+    /// Filtering + normalization + combination (Algorithm 1 lines 7–14),
+    /// exposed separately so tests and ablations can inject curves.
+    pub fn combine_curves(&self, curves: Vec<RuleDensityCurve>) -> RuleDensityCurve {
+        assert!(!curves.is_empty(), "no ensemble members");
+        let len = curves[0].len();
+        debug_assert!(curves.iter().all(|c| c.len() == len));
+
+        // Rank by standard deviation, descending (line 9); index tiebreak
+        // keeps the procedure deterministic.
+        let mut order: Vec<usize> = (0..curves.len()).collect();
+        let stds: Vec<f64> = curves.iter().map(RuleDensityCurve::stddev).collect();
+        order.sort_by(|&x, &y| {
+            stds[y]
+                .partial_cmp(&stds[x])
+                .expect("stddev is finite")
+                .then(x.cmp(&y))
+        });
+        let keep = ((self.config.selectivity * curves.len() as f64).round() as usize)
+            .clamp(1, curves.len());
+
+        // Normalize the kept curves (line 11).
+        let mut kept: Vec<RuleDensityCurve> = order[..keep]
+            .iter()
+            .map(|&i| curves[i].clone())
+            .collect();
+        for c in kept.iter_mut() {
+            c.normalize_by_max();
+        }
+
+        // Point-wise combination (line 14).
+        let mut values = Vec::with_capacity(len);
+        let mut column = vec![0.0f64; keep];
+        for t in 0..len {
+            for (slot, c) in column.iter_mut().zip(&kept) {
+                *slot = c.values[t];
+            }
+            values.push(self.config.combiner.combine(&mut column));
+        }
+        RuleDensityCurve { values }
+    }
+
+    /// Per-member diagnostics: parameters, raw curves, standard
+    /// deviations, and which members survived the τ filter — everything
+    /// needed to reproduce the paper's Figure 5 (top-2 vs bottom-2 curves
+    /// by std ranking).
+    pub fn diagnostics(&self, series: &[f64], seed: u64) -> MemberDiagnostics {
+        let params = self.member_params(seed);
+        let curves = self.member_curves(series, &params);
+        let stds: Vec<f64> = curves.iter().map(RuleDensityCurve::stddev).collect();
+        let mut order: Vec<usize> = (0..curves.len()).collect();
+        order.sort_by(|&x, &y| {
+            stds[y]
+                .partial_cmp(&stds[x])
+                .expect("stddev is finite")
+                .then(x.cmp(&y))
+        });
+        let keep = ((self.config.selectivity * curves.len() as f64).round() as usize)
+            .clamp(1, curves.len());
+        order.truncate(keep);
+        MemberDiagnostics {
+            params,
+            curves,
+            stds,
+            kept: order,
+        }
+    }
+
+    /// Full detection: ensemble curve → top-`k` non-overlapping minima.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `series` contains non-finite values (NaN/±∞ would poison
+    /// the shared prefix sums silently).
+    pub fn detect(&self, series: &[f64], k: usize, seed: u64) -> AnomalyReport {
+        assert!(
+            series.iter().all(|v| v.is_finite()),
+            "series contains non-finite values"
+        );
+        let curve = self.ensemble_curve(series, seed);
+        let anomalies = rank_anomalies(&curve.values, self.config.window, k);
+        AnomalyReport {
+            anomalies,
+            curve: curve.values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egi_tskit::gen::ecg::{ecg_beat, EcgParams};
+
+    fn beat_train(beats: usize, beat_len: usize, anomaly_at: usize) -> (Vec<f64>, usize) {
+        let normal = ecg_beat(beat_len, &EcgParams::default());
+        let weird = ecg_beat(beat_len, &EcgParams::ectopic());
+        let mut series = Vec::new();
+        let mut gt = 0;
+        for b in 0..beats {
+            if b == anomaly_at {
+                gt = series.len();
+                series.extend_from_slice(&weird);
+            } else {
+                series.extend_from_slice(&normal);
+            }
+        }
+        (series, gt)
+    }
+
+    fn config(window: usize) -> EnsembleConfig {
+        EnsembleConfig {
+            window,
+            ensemble_size: 20,
+            ..EnsembleConfig::default()
+        }
+    }
+
+    #[test]
+    fn member_params_are_distinct_and_in_range() {
+        let det = EnsembleDetector::new(config(64));
+        let params = det.member_params(1);
+        assert_eq!(params.len(), 20);
+        let mut seen = std::collections::HashSet::new();
+        for p in &params {
+            assert!((2..=10).contains(&p.w));
+            assert!((2..=10).contains(&p.a));
+            assert!(seen.insert((p.w, p.a)), "duplicate pair {p}");
+        }
+    }
+
+    #[test]
+    fn member_params_respect_small_window() {
+        let det = EnsembleDetector::new(EnsembleConfig {
+            window: 4,
+            ..config(4)
+        });
+        for p in det.member_params(3) {
+            assert!(p.w <= 4, "w={} exceeds window 4", p.w);
+        }
+    }
+
+    #[test]
+    fn ensemble_size_larger_than_space_uses_all_pairs() {
+        let det = EnsembleDetector::new(EnsembleConfig {
+            ensemble_size: 500,
+            ..config(64)
+        });
+        // 9 × 9 = 81 pairs available.
+        assert_eq!(det.member_params(0).len(), 81);
+    }
+
+    #[test]
+    fn params_are_deterministic_per_seed() {
+        let det = EnsembleDetector::new(config(64));
+        assert_eq!(det.member_params(7), det.member_params(7));
+        assert_ne!(det.member_params(7), det.member_params(8));
+    }
+
+    #[test]
+    fn detects_planted_anomaly() {
+        let beat_len = 100;
+        let (series, gt) = beat_train(20, beat_len, 12);
+        let det = EnsembleDetector::new(config(beat_len));
+        let report = det.detect(&series, 1, 42);
+        let found = report.top_location().expect("one candidate");
+        assert!(
+            (found as i64 - gt as i64).unsigned_abs() as usize <= beat_len,
+            "found {found}, gt {gt}"
+        );
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree_exactly() {
+        let (series, _) = beat_train(12, 64, 6);
+        let par = EnsembleDetector::new(EnsembleConfig {
+            parallel: true,
+            ..config(64)
+        });
+        let seq = EnsembleDetector::new(EnsembleConfig {
+            parallel: false,
+            ..config(64)
+        });
+        let a = par.detect(&series, 3, 5);
+        let b = seq.detect(&series, 3, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn combine_keeps_zero_regions_zero_under_median() {
+        let det = EnsembleDetector::new(EnsembleConfig {
+            selectivity: 1.0,
+            ..config(8)
+        });
+        // Three curves that all vanish at point 2.
+        let curves = vec![
+            RuleDensityCurve { values: vec![2.0, 4.0, 0.0, 2.0] },
+            RuleDensityCurve { values: vec![1.0, 2.0, 0.0, 1.0] },
+            RuleDensityCurve { values: vec![3.0, 3.0, 0.0, 3.0] },
+        ];
+        let combined = det.combine_curves(curves);
+        assert_eq!(combined.values[2], 0.0);
+        assert!(combined.values[0] > 0.0);
+    }
+
+    #[test]
+    fn selectivity_drops_low_std_curves() {
+        let det = EnsembleDetector::new(EnsembleConfig {
+            selectivity: 0.5,
+            combiner: Combiner::Mean,
+            ..config(8)
+        });
+        // One informative curve (high std) and one flat curve. τ = 50%
+        // keeps only the informative one.
+        let curves = vec![
+            RuleDensityCurve { values: vec![4.0, 4.0, 4.0, 4.0] }, // flat
+            RuleDensityCurve { values: vec![4.0, 0.0, 4.0, 4.0] }, // dip
+        ];
+        let combined = det.combine_curves(curves);
+        // The kept curve normalized: [1, 0, 1, 1].
+        assert_eq!(combined.values, vec![1.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn median_of_even_count_averages_middle_pair() {
+        assert_eq!(Combiner::Median.combine(&mut [1.0, 3.0]), 2.0);
+        assert_eq!(Combiner::Median.combine(&mut [1.0, 2.0, 4.0, 8.0]), 3.0);
+        assert_eq!(Combiner::Median.combine(&mut [5.0, 1.0, 9.0]), 5.0);
+    }
+
+    #[test]
+    fn mean_min_max_combiners() {
+        assert_eq!(Combiner::Mean.combine(&mut [1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(Combiner::Min.combine(&mut [3.0, 1.0, 2.0]), 1.0);
+        assert_eq!(Combiner::Max.combine(&mut [3.0, 1.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "selectivity")]
+    fn zero_selectivity_rejected() {
+        EnsembleDetector::new(EnsembleConfig {
+            selectivity: 0.0,
+            ..EnsembleConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "no ensemble members")]
+    fn combine_empty_panics() {
+        let det = EnsembleDetector::new(EnsembleConfig::default());
+        det.combine_curves(Vec::new());
+    }
+}

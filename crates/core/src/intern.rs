@@ -1,0 +1,60 @@
+//! SAX-word interning.
+//!
+//! Sequitur operates on integer tokens; the discretizer produces
+//! [`SaxWord`]s. Interning assigns consecutive `u32` ids in first-seen
+//! order, which keeps the mapping deterministic for a given input (the
+//! evaluation harness relies on run-to-run reproducibility).
+
+use std::collections::HashMap;
+
+use egi_sax::{NumerosityReduced, SaxWord};
+
+/// Interns the words of a numerosity-reduced token sequence.
+///
+/// Returns one token id per retained token, in order. Identical words get
+/// identical ids; ids are dense starting at 0.
+pub fn intern_tokens(nr: &NumerosityReduced) -> Vec<u32> {
+    let mut table: HashMap<&SaxWord, u32> = HashMap::with_capacity(nr.len());
+    let mut out = Vec::with_capacity(nr.len());
+    for token in &nr.tokens {
+        let next_id = table.len() as u32;
+        let id = *table.entry(&token.word).or_insert(next_id);
+        out.push(id);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egi_sax::{numerosity_reduce, SaxWord};
+
+    fn nr_from(words: &[&[u8]]) -> NumerosityReduced {
+        numerosity_reduce(words.iter().map(|w| SaxWord(w.to_vec())).collect(), 4)
+    }
+
+    #[test]
+    fn dense_first_seen_ids() {
+        let nr = nr_from(&[b"ab", b"cd", b"ab", b"ee", b"cd"]);
+        assert_eq!(intern_tokens(&nr), vec![0, 1, 0, 2, 1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let nr = nr_from(&[]);
+        assert!(intern_tokens(&nr).is_empty());
+    }
+
+    #[test]
+    fn single_word() {
+        // Numerosity reduction collapses the run first.
+        let nr = nr_from(&[b"xy", b"xy", b"xy"]);
+        assert_eq!(intern_tokens(&nr), vec![0]);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let nr = nr_from(&[b"aa", b"bb", b"aa", b"cc"]);
+        assert_eq!(intern_tokens(&nr), intern_tokens(&nr));
+    }
+}

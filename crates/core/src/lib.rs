@@ -1,0 +1,38 @@
+//! # egi-core — grammar-induction anomaly detection
+//!
+//! The paper's contribution, layered on the substrates:
+//!
+//! * [`intern`] — SAX-word interning into the `u32` tokens Sequitur eats.
+//! * [`density`] — the **rule density curve** (Section 5.2): a meta time
+//!   series counting, for every point of the input, how many grammar-rule
+//!   occurrences cover it. Anomalies are its minima.
+//! * [`detector`] — candidate extraction: lowest-mean-density,
+//!   non-overlapping top-k windows.
+//! * [`single`] — the single-run GrammarViz-style detector
+//!   (discretize → Sequitur → density → rank), the engine behind the
+//!   GI-Fix / GI-Random / GI-Select baselines.
+//! * [`ensemble`] — **Algorithm 1**: N randomized `(w, a)` runs, standard
+//!   deviation filtering (keep top τ·N curves), max-normalization, and
+//!   point-wise median combination.
+//! * [`select`] — the GI-Select parameter-search baseline (Section 7.1.3).
+//! * [`multiwindow`] — an extension beyond the paper: ensemble over
+//!   several sliding-window lengths, reporting variable-length anomalies.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod density;
+pub mod detector;
+pub mod ensemble;
+pub mod intern;
+pub mod multiwindow;
+pub mod select;
+pub mod single;
+
+pub use density::RuleDensityCurve;
+pub use detector::{rank_anomalies, AnomalyReport, Candidate};
+pub use ensemble::{Combiner, EnsembleConfig, EnsembleDetector, MemberDiagnostics};
+pub use intern::intern_tokens;
+pub use multiwindow::{MultiWindowConfig, MultiWindowEnsemble};
+pub use select::select_parameters;
+pub use single::{GiConfig, SingleGiDetector};

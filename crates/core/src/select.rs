@@ -1,0 +1,149 @@
+//! GI-Select: parameter selection on a normal prefix (paper Section 7.1.3).
+//!
+//! The baseline "Grammar Induction with Selected Parameter Values" picks
+//! `(w, a)` via the optimization procedure of GrammarViz 3.0 \[19\], run on
+//! 10% of the normal time series. The published procedure searches for the
+//! discretization under which the (normal) data is *most compressible* —
+//! regular structure should compress well, so a parameter choice that
+//! captures the regularity of normal data makes deviations stand out.
+//! We implement that criterion directly: grid-search `(w, a)` over the
+//! same ranges the ensemble samples from, scoring each pair by the grammar
+//! compression ratio on the prefix, and keep the best pair.
+
+use egi_sax::{discretize_series, FastSax, MultiResBreakpoints, SaxConfig};
+use egi_sequitur::induce;
+
+use crate::intern::intern_tokens;
+
+/// Selects `(w, a)` for `series` by maximizing grammar compression on the
+/// leading `train_fraction` of the series (paper: 10%).
+///
+/// The search space is `w ∈ [2, min(wmax, window)] × a ∈ [2, amax]`. The
+/// training prefix is clamped to at least two windows so every candidate
+/// can be evaluated; ties break toward smaller `(w, a)` (coarser, cheaper
+/// models), matching the "prefer simpler" reading of \[19\].
+pub fn select_parameters(
+    series: &[f64],
+    window: usize,
+    wmax: usize,
+    amax: usize,
+    train_fraction: f64,
+) -> SaxConfig {
+    assert!(window >= 2, "window must be at least 2");
+    assert!(
+        train_fraction > 0.0 && train_fraction <= 1.0,
+        "train fraction must be in (0, 1]"
+    );
+    let min_prefix = (window + 1).min(series.len());
+    let prefix_len = ((series.len() as f64 * train_fraction) as usize)
+        .max(min_prefix)
+        .min(series.len());
+    let prefix = &series[..prefix_len];
+
+    let fast = FastSax::new(prefix);
+    let multi = MultiResBreakpoints::new(amax.max(2));
+    let w_hi = wmax.min(window).max(2);
+
+    let mut best = SaxConfig::new(2, 2);
+    let mut best_score = f64::NEG_INFINITY;
+    for w in 2..=w_hi {
+        for a in 2..=amax.max(2) {
+            let cfg = SaxConfig::new(w, a);
+            let score = compression_score(&fast, window, cfg, &multi);
+            if score > best_score {
+                best_score = score;
+                best = cfg;
+            }
+        }
+    }
+    best
+}
+
+/// Compression ratio of the grammar induced from the prefix under `cfg`:
+/// `1 − grammar_size / token_count`, in `[−∞, 1)`. Higher means the
+/// discretization exposes more regularity. Degenerate discretizations
+/// (fewer than 2 tokens after numerosity reduction) score `−∞` so they are
+/// never selected.
+fn compression_score(
+    fast: &FastSax<'_>,
+    window: usize,
+    cfg: SaxConfig,
+    multi: &MultiResBreakpoints,
+) -> f64 {
+    let nr = discretize_series(fast, window, cfg, multi);
+    if nr.len() < 2 {
+        return f64::NEG_INFINITY;
+    }
+    let tokens = intern_tokens(&nr);
+    let token_count = tokens.len();
+    let grammar = induce(tokens);
+    1.0 - grammar.total_size() as f64 / token_count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egi_tskit::gen::ecg::{ecg_beat, EcgParams};
+
+    fn periodic_series(beats: usize, beat_len: usize) -> Vec<f64> {
+        let beat = ecg_beat(beat_len, &EcgParams::default());
+        (0..beats).flat_map(|_| beat.iter().copied()).collect()
+    }
+
+    #[test]
+    fn returns_params_in_range() {
+        let series = periodic_series(30, 50);
+        let cfg = select_parameters(&series, 50, 10, 10, 0.1);
+        assert!((2..=10).contains(&cfg.w));
+        assert!((2..=10).contains(&cfg.a));
+    }
+
+    #[test]
+    fn respects_small_window() {
+        let series = periodic_series(40, 4);
+        let cfg = select_parameters(&series, 4, 10, 10, 0.2);
+        assert!(cfg.w <= 4);
+    }
+
+    #[test]
+    fn deterministic() {
+        let series = periodic_series(25, 60);
+        let a = select_parameters(&series, 60, 10, 10, 0.1);
+        let b = select_parameters(&series, 60, 10, 10, 0.1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn periodic_data_scores_better_than_noise() {
+        // The selected configuration on periodic data must achieve a
+        // positive compression score; on white noise the best score should
+        // be much lower. We compare via the internal scorer.
+        let periodic = periodic_series(40, 40);
+        let noise: Vec<f64> = (0..1600)
+            .map(|i| {
+                let x = (i as f64 * 12.9898).sin() * 43758.5453;
+                x - x.floor() - 0.5
+            })
+            .collect();
+        let multi = MultiResBreakpoints::new(10);
+        let cfg = SaxConfig::new(4, 4);
+        let fp = FastSax::new(&periodic);
+        let fnz = FastSax::new(&noise);
+        let sp = compression_score(&fp, 40, cfg, &multi);
+        let sn = compression_score(&fnz, 40, cfg, &multi);
+        assert!(sp > sn, "periodic {sp} not more compressible than noise {sn}");
+    }
+
+    #[test]
+    fn short_series_does_not_panic() {
+        let series = periodic_series(3, 20);
+        let cfg = select_parameters(&series, 20, 10, 10, 0.1);
+        assert!(cfg.w >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "train fraction")]
+    fn bad_fraction_panics() {
+        select_parameters(&[0.0; 100], 10, 10, 10, 0.0);
+    }
+}

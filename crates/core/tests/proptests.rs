@@ -1,0 +1,110 @@
+//! Property-based tests for the detection core.
+
+use egi_core::{
+    rank_anomalies, Combiner, EnsembleConfig, EnsembleDetector, RuleDensityCurve,
+};
+use egi_tskit::window::intervals_overlap;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Ranked candidates never overlap, have nondecreasing scores, and
+    /// each score equals the window's mean density.
+    #[test]
+    fn rank_anomalies_invariants(
+        curve in prop::collection::vec(0.0f64..50.0, 1..300),
+        n in 1usize..40,
+        k in 1usize..6,
+    ) {
+        let cands = rank_anomalies(&curve, n, k);
+        prop_assert!(cands.len() <= k);
+        for (i, c) in cands.iter().enumerate() {
+            prop_assert!(c.start + c.len <= curve.len());
+            let mean: f64 = curve[c.start..c.start + n].iter().sum::<f64>() / n as f64;
+            prop_assert!((c.score - mean).abs() < 1e-9);
+            for other in &cands[i + 1..] {
+                prop_assert!(!intervals_overlap(c.start, c.len, other.start, other.len));
+            }
+        }
+        for pair in cands.windows(2) {
+            prop_assert!(pair[0].score <= pair[1].score + 1e-12);
+        }
+    }
+
+    /// The top-1 candidate is globally optimal: no window of length n has
+    /// a strictly lower mean density.
+    #[test]
+    fn top_candidate_is_global_minimum(
+        curve in prop::collection::vec(0.0f64..10.0, 5..150),
+        n in 1usize..20,
+    ) {
+        prop_assume!(n <= curve.len());
+        let cands = rank_anomalies(&curve, n, 1);
+        prop_assert_eq!(cands.len(), 1);
+        let best = cands[0].score;
+        for s in 0..=curve.len() - n {
+            let mean: f64 = curve[s..s + n].iter().sum::<f64>() / n as f64;
+            prop_assert!(best <= mean + 1e-9, "window {} beats reported best", s);
+        }
+    }
+
+    /// Median combination is bounded by min and max combinations
+    /// point-wise, and all combiners preserve the [0, 1] range of
+    /// normalized curves.
+    #[test]
+    fn combiners_are_bounded(
+        rows in prop::collection::vec(
+            prop::collection::vec(0.0f64..1.0, 20),
+            1..9,
+        ),
+    ) {
+        let det = |comb| EnsembleDetector::new(EnsembleConfig {
+            window: 4,
+            selectivity: 1.0,
+            combiner: comb,
+            ..EnsembleConfig::default()
+        });
+        let as_curves = |rows: &Vec<Vec<f64>>|
+
+            rows.iter()
+                .map(|r| RuleDensityCurve { values: r.clone() })
+                .collect::<Vec<_>>();
+        let med = det(Combiner::Median).combine_curves(as_curves(&rows));
+        let min = det(Combiner::Min).combine_curves(as_curves(&rows));
+        let max = det(Combiner::Max).combine_curves(as_curves(&rows));
+        for t in 0..20 {
+            prop_assert!(min.values[t] <= med.values[t] + 1e-9);
+            prop_assert!(med.values[t] <= max.values[t] + 1e-9);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&med.values[t]));
+        }
+    }
+
+    /// Selectivity never changes the curve length, and τ = 1.0 keeps all
+    /// members (order-invariant median): permuting the input curves gives
+    /// the same combined curve.
+    #[test]
+    fn median_is_permutation_invariant(
+        rows in prop::collection::vec(prop::collection::vec(0.0f64..5.0, 10), 2..7),
+        swap_a in 0usize..7,
+        swap_b in 0usize..7,
+    ) {
+        let det = EnsembleDetector::new(EnsembleConfig {
+            window: 4,
+            selectivity: 1.0,
+            ..EnsembleConfig::default()
+        });
+        let curves: Vec<RuleDensityCurve> = rows
+            .iter()
+            .map(|r| RuleDensityCurve { values: r.clone() })
+            .collect();
+        let mut permuted = curves.clone();
+        let (a, b) = (swap_a % permuted.len(), swap_b % permuted.len());
+        permuted.swap(a, b);
+        let c1 = det.combine_curves(curves);
+        let c2 = det.combine_curves(permuted);
+        for (x, y) in c1.values.iter().zip(&c2.values) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

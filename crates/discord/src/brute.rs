@@ -1,0 +1,100 @@
+//! Brute-force matrix profile — the `O(N²·m)` oracle the fast algorithms
+//! are validated against.
+
+use crate::dist::WindowStats;
+use crate::profile::MatrixProfile;
+
+/// Computes the exact matrix profile by direct dot products.
+///
+/// `exclusion` is the self-match half-width: windows `j` with
+/// `|i − j| ≤ exclusion` are not considered neighbors of `i`. The discord
+/// literature's "non-self match" corresponds to `exclusion = m − 1`
+/// (no overlap); matrix profile implementations conventionally use `m/2`
+/// or `m/4`.
+pub fn brute_force(series: &[f64], m: usize, exclusion: usize) -> MatrixProfile {
+    let ws = WindowStats::new(series, m);
+    let count = ws.count();
+    let mut profile = vec![f64::INFINITY; count];
+    let mut index = vec![usize::MAX; count];
+    for i in 0..count {
+        for j in 0..count {
+            if i.abs_diff(j) <= exclusion {
+                continue;
+            }
+            let qt: f64 = series[i..i + m]
+                .iter()
+                .zip(&series[j..j + m])
+                .map(|(x, y)| x * y)
+                .sum();
+            let d = ws.dist(i, j, qt);
+            if d < profile[i] {
+                profile[i] = d;
+                index[i] = j;
+            }
+        }
+    }
+    MatrixProfile {
+        m,
+        exclusion,
+        profile,
+        index,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_series_has_zero_profile() {
+        // Two exact copies of a motif: every window has an exact match.
+        let motif: Vec<f64> = (0..20).map(|i| (i as f64 * 0.8).sin()).collect();
+        let mut series = motif.clone();
+        series.extend(&motif);
+        let mp = brute_force(&series, 8, 7);
+        // Windows in the first copy match the corresponding window in the
+        // second copy exactly.
+        for i in 0..10 {
+            assert!(mp.profile[i] < 1e-6, "window {i}: {}", mp.profile[i]);
+            assert_eq!(mp.index[i], i + 20);
+        }
+    }
+
+    #[test]
+    fn profile_is_symmetric_in_distance() {
+        let series: Vec<f64> = (0..40).map(|i| ((i * i) as f64 * 0.1).sin()).collect();
+        let mp = brute_force(&series, 6, 5);
+        // d(i, index[i]) must equal profile[i]; and profile[index[i]] ≤
+        // profile[i] is NOT required, but index must respect exclusion.
+        for i in 0..mp.len() {
+            if mp.index[i] != usize::MAX {
+                assert!(i.abs_diff(mp.index[i]) > 5);
+            }
+        }
+    }
+
+    #[test]
+    fn planted_outlier_has_max_profile() {
+        // Repeating sine with one corrupted window.
+        let mut series: Vec<f64> = (0..120).map(|i| (i as f64 * std::f64::consts::TAU / 12.0).sin()).collect();
+        for (off, v) in series[60..72].iter_mut().enumerate() {
+            *v = if off % 2 == 0 { 2.5 } else { -2.5 };
+        }
+        let m = 12;
+        let mp = brute_force(&series, m, m - 1);
+        let top = mp.discords(1)[0];
+        assert!(
+            (48..=72).contains(&top.start),
+            "discord at {} not at planted outlier",
+            top.start
+        );
+    }
+
+    #[test]
+    fn exclusion_equal_everything_gives_infinite_profile() {
+        let series = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mp = brute_force(&series, 2, 10);
+        assert!(mp.profile.iter().all(|d| d.is_infinite()));
+        assert!(mp.discords(1).is_empty());
+    }
+}

@@ -1,0 +1,217 @@
+//! Minimal radix-2 FFT.
+//!
+//! Just enough Fourier machinery for MASS's sliding dot products: an
+//! iterative in-place Cooley–Tukey transform over `(re, im)` pairs, its
+//! inverse, and a real-sequence convolution helper. Power-of-two sizes
+//! only; callers pad.
+
+/// A complex number as a bare `(re, im)` pair.
+pub type Complex = (f64, f64);
+
+#[inline]
+fn c_add(a: Complex, b: Complex) -> Complex {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+#[inline]
+fn c_sub(a: Complex, b: Complex) -> Complex {
+    (a.0 - b.0, a.1 - b.1)
+}
+
+#[inline]
+fn c_mul(a: Complex, b: Complex) -> Complex {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+/// Next power of two ≥ `n` (and ≥ 1).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place FFT (`inverse = false`) or unscaled inverse FFT
+/// (`inverse = true`; divide by `len` afterwards to invert).
+///
+/// # Panics
+///
+/// Panics if `buf.len()` is not a power of two.
+pub fn fft_in_place(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "FFT size {n} not a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w: Complex = (1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = buf[i + k];
+                let v = c_mul(buf[i + k + len / 2], w);
+                buf[i + k] = c_add(u, v);
+                buf[i + k + len / 2] = c_sub(u, v);
+                w = c_mul(w, wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Linear convolution of two real sequences via FFT.
+///
+/// Returns a vector of length `a.len() + b.len() − 1` (empty if either
+/// input is empty).
+pub fn convolve_real(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let out_len = a.len() + b.len() - 1;
+    let size = next_pow2(out_len);
+    let mut fa: Vec<Complex> = a.iter().map(|&x| (x, 0.0)).collect();
+    let mut fb: Vec<Complex> = b.iter().map(|&x| (x, 0.0)).collect();
+    fa.resize(size, (0.0, 0.0));
+    fb.resize(size, (0.0, 0.0));
+    fft_in_place(&mut fa, false);
+    fft_in_place(&mut fb, false);
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x = c_mul(*x, *y);
+    }
+    fft_in_place(&mut fa, true);
+    let scale = 1.0 / size as f64;
+    fa.truncate(out_len);
+    fa.into_iter().map(|(re, _)| re * scale).collect()
+}
+
+/// Sliding dot products of `query` against every window of `series`:
+/// `out[j] = Σ_k query[k] · series[j + k]` for
+/// `j = 0 ..= series.len() − query.len()`.
+///
+/// Computed as a convolution with the reversed query, `O(N log N)`.
+///
+/// # Panics
+///
+/// Panics if the query is empty or longer than the series.
+pub fn sliding_dot_products(query: &[f64], series: &[f64]) -> Vec<f64> {
+    let m = query.len();
+    let n = series.len();
+    assert!(m > 0, "empty query");
+    assert!(m <= n, "query longer than series");
+    let reversed: Vec<f64> = query.iter().rev().copied().collect();
+    let conv = convolve_real(&reversed, series);
+    // Full convolution index m-1+j corresponds to dot at offset j.
+    conv[m - 1..n].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; a.len() + b.len() - 1];
+        for (i, &x) in a.iter().enumerate() {
+            for (j, &y) in b.iter().enumerate() {
+                out[i + j] += x * y;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fft_roundtrip_recovers_input() {
+        let mut buf: Vec<Complex> = (0..16).map(|i| (i as f64, -(i as f64) / 3.0)).collect();
+        let original = buf.clone();
+        fft_in_place(&mut buf, false);
+        fft_in_place(&mut buf, true);
+        for ((re, im), (ore, oim)) in buf.iter().zip(&original) {
+            assert!((re / 16.0 - ore).abs() < 1e-9);
+            assert!((im / 16.0 - oim).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut buf = vec![(0.0, 0.0); 8];
+        buf[0] = (1.0, 0.0);
+        fft_in_place(&mut buf, false);
+        for (re, im) in buf {
+            assert!((re - 1.0).abs() < 1e-12);
+            assert!(im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_parseval_energy() {
+        let xs: Vec<f64> = (0..32).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        let mut buf: Vec<Complex> = xs.iter().map(|&x| (x, 0.0)).collect();
+        fft_in_place(&mut buf, false);
+        let time_energy: f64 = xs.iter().map(|x| x * x).sum();
+        let freq_energy: f64 = buf.iter().map(|(r, i)| r * r + i * i).sum::<f64>() / 32.0;
+        assert!((time_energy - freq_energy).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_pow2() {
+        let mut buf = vec![(0.0, 0.0); 6];
+        fft_in_place(&mut buf, false);
+    }
+
+    #[test]
+    fn convolution_matches_naive() {
+        let a = [1.0, 2.0, -1.0, 0.5];
+        let b = [3.0, -2.0, 1.0, 4.0, -1.0];
+        let fast = convolve_real(&a, &b);
+        let slow = naive_convolve(&a, &b);
+        assert_eq!(fast.len(), slow.len());
+        for (f, s) in fast.iter().zip(&slow) {
+            assert!((f - s).abs() < 1e-9, "{f} vs {s}");
+        }
+    }
+
+    #[test]
+    fn convolution_with_empty_is_empty() {
+        assert!(convolve_real(&[], &[1.0]).is_empty());
+        assert!(convolve_real(&[1.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn sliding_dots_match_direct() {
+        let series: Vec<f64> = (0..50).map(|i| (i as f64 * 0.7).sin()).collect();
+        let query = &series[10..18];
+        let fast = sliding_dot_products(query, &series);
+        assert_eq!(fast.len(), 43);
+        for j in 0..fast.len() {
+            let direct: f64 = query.iter().zip(&series[j..j + 8]).map(|(q, s)| q * s).sum();
+            assert!((fast[j] - direct).abs() < 1e-8, "offset {j}");
+        }
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(5), 8);
+        assert_eq!(next_pow2(8), 8);
+        assert_eq!(next_pow2(1000), 1024);
+    }
+}

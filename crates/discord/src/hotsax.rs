@@ -1,0 +1,349 @@
+//! HOTSAX — heuristic discord discovery (Keogh et al. 2005, the paper's
+//! reference \[9\]).
+//!
+//! Finds the top-1 discord without computing the full matrix profile:
+//! candidate windows are visited in ascending SAX-bucket frequency (rare
+//! words first — likely discords), and each candidate's nearest-neighbor
+//! search visits same-bucket windows first (likely close — early abandon
+//! fast). The search is exact: pruning only skips pairs that provably
+//! cannot change the result.
+
+use egi_sax::{BreakpointTable, SaxConfig};
+
+use crate::dist::WindowStats;
+use crate::profile::Discord;
+
+/// Deterministic pseudo-random permutation of `0..n` (SplitMix-based),
+/// used for the inner-loop visit order where HOTSAX prescribes "random".
+fn pseudo_random_order(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
+    let mut next = || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+/// Early-abandoning z-normalized distance between windows `i` and `j`.
+/// Returns `None` as soon as the running sum exceeds `best²`.
+fn znorm_dist_early_abandon(
+    series: &[f64],
+    ws: &WindowStats,
+    i: usize,
+    j: usize,
+    best: f64,
+) -> Option<f64> {
+    let m = ws.m;
+    let (mi, si) = (ws.mu[i], ws.sigma[i]);
+    let (mj, sj) = (ws.mu[j], ws.sigma[j]);
+    if si == 0.0 && sj == 0.0 {
+        return Some(0.0);
+    }
+    if si == 0.0 || sj == 0.0 {
+        let d = (2.0 * m as f64).sqrt();
+        return if d < best { Some(d) } else { None };
+    }
+    let limit = best * best;
+    let mut acc = 0.0;
+    for k in 0..m {
+        let x = (series[i + k] - mi) / si;
+        let y = (series[j + k] - mj) / sj;
+        let d = x - y;
+        acc += d * d;
+        if acc >= limit {
+            return None;
+        }
+    }
+    Some(acc.sqrt())
+}
+
+/// Finds the top-1 discord of `series` for window length `m` using the
+/// HOTSAX heuristic. `sax` controls the bucketing resolution (the classic
+/// choice is `w = 3, a = 3`). Returns `None` when fewer than two
+/// non-overlapping windows exist.
+///
+/// The non-self-match convention follows the discord definition:
+/// neighbors must satisfy `|i − j| ≥ m`.
+pub fn hotsax_discord(series: &[f64], m: usize, sax: SaxConfig) -> Option<Discord> {
+    let n = series.len();
+    if m == 0 || n < 2 * m {
+        return None;
+    }
+    let ws = WindowStats::new(series, m);
+    let count = ws.count();
+
+    // SAX-bucket every window (direct PAA per window is fine here: this
+    // runs once, and HOTSAX's value is the search-order heuristic).
+    let table = BreakpointTable::new(sax.a);
+    let mut words: Vec<u64> = Vec::with_capacity(count);
+    for i in 0..count {
+        let word = egi_sax::sax_word(&series[i..i + m], sax, &table);
+        // Pack symbols into a u64 key (w ≤ 21 for a ≤ 8; our w is tiny).
+        let mut key: u64 = 0;
+        for &s in word.symbols() {
+            key = key * sax.a as u64 + s as u64;
+        }
+        words.push(key);
+    }
+    let mut freq: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+    for &w in &words {
+        *freq.entry(w).or_insert(0) += 1;
+    }
+    let mut buckets: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
+    for (i, &w) in words.iter().enumerate() {
+        buckets.entry(w).or_default().push(i);
+    }
+
+    // Outer order: ascending bucket frequency, then position.
+    let mut outer: Vec<usize> = (0..count).collect();
+    outer.sort_by_key(|&i| (freq[&words[i]], i));
+    let random_order = pseudo_random_order(count, 0xD15C0BD);
+
+    let mut best = Discord {
+        start: 0,
+        len: m,
+        distance: -1.0,
+    };
+    for &i in &outer {
+        let mut nn = f64::INFINITY;
+        let mut abandoned = false;
+
+        // Same-bucket neighbors first.
+        let same = buckets[&words[i]].iter().copied();
+        let rest = random_order.iter().copied();
+        for j in same.chain(rest) {
+            if i.abs_diff(j) < m {
+                continue;
+            }
+            if let Some(d) = znorm_dist_early_abandon(series, &ws, i, j, nn) {
+                if d < nn {
+                    nn = d;
+                }
+            }
+            // If the nearest neighbor is already closer than the best
+            // discord distance, i cannot be the discord.
+            if nn <= best.distance {
+                abandoned = true;
+                break;
+            }
+        }
+        if !abandoned && nn.is_finite() && nn > best.distance {
+            best = Discord {
+                start: i,
+                len: m,
+                distance: nn,
+            };
+        }
+    }
+    if best.distance >= 0.0 {
+        Some(best)
+    } else {
+        None
+    }
+}
+
+/// Finds the top-`k` non-overlapping discords by repeated masked search.
+///
+/// After each discovery the found interval is masked (its windows can no
+/// longer be *candidates*, though they remain valid as neighbors), and the
+/// search reruns. `O(k)` HOTSAX passes — still far below the quadratic
+/// matrix profile when `k` is small and the data is well-bucketed.
+pub fn hotsax_discords(series: &[f64], m: usize, sax: SaxConfig, k: usize) -> Vec<Discord> {
+    let mut found: Vec<Discord> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let best = hotsax_discord_masked(series, m, sax, &found);
+        match best {
+            Some(d) => found.push(d),
+            None => break,
+        }
+    }
+    found
+}
+
+/// One HOTSAX pass skipping candidates that overlap `masked` intervals.
+fn hotsax_discord_masked(
+    series: &[f64],
+    m: usize,
+    sax: SaxConfig,
+    masked: &[Discord],
+) -> Option<Discord> {
+    let n = series.len();
+    if m == 0 || n < 2 * m {
+        return None;
+    }
+    let ws = WindowStats::new(series, m);
+    let count = ws.count();
+    let is_masked = |i: usize| {
+        masked
+            .iter()
+            .any(|d| egi_tskit::window::intervals_overlap(d.start, d.len, i, m))
+    };
+
+    let table = BreakpointTable::new(sax.a);
+    let mut words: Vec<u64> = Vec::with_capacity(count);
+    for i in 0..count {
+        let word = egi_sax::sax_word(&series[i..i + m], sax, &table);
+        let mut key: u64 = 0;
+        for &s in word.symbols() {
+            key = key * sax.a as u64 + s as u64;
+        }
+        words.push(key);
+    }
+    let mut freq: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+    for &w in &words {
+        *freq.entry(w).or_insert(0) += 1;
+    }
+    let mut buckets: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
+    for (i, &w) in words.iter().enumerate() {
+        buckets.entry(w).or_default().push(i);
+    }
+    let mut outer: Vec<usize> = (0..count).filter(|&i| !is_masked(i)).collect();
+    outer.sort_by_key(|&i| (freq[&words[i]], i));
+    let random_order = pseudo_random_order(count, 0xD15C0BD);
+
+    let mut best = Discord {
+        start: 0,
+        len: m,
+        distance: -1.0,
+    };
+    let mut any = false;
+    for &i in &outer {
+        let mut nn = f64::INFINITY;
+        let mut abandoned = false;
+        let same = buckets[&words[i]].iter().copied();
+        let rest = random_order.iter().copied();
+        for j in same.chain(rest) {
+            if i.abs_diff(j) < m {
+                continue;
+            }
+            if let Some(d) = znorm_dist_early_abandon(series, &ws, i, j, nn) {
+                if d < nn {
+                    nn = d;
+                }
+            }
+            if nn <= best.distance {
+                abandoned = true;
+                break;
+            }
+        }
+        if !abandoned && nn.is_finite() && nn > best.distance {
+            best = Discord {
+                start: i,
+                len: m,
+                distance: nn,
+            };
+            any = true;
+        }
+    }
+    if any {
+        Some(best)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stomp::stomp_with_exclusion;
+
+    fn periodic_with_outlier(n: usize, period: usize) -> Vec<f64> {
+        let mut s: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * std::f64::consts::TAU / period as f64).sin())
+            .collect();
+        let at = n / 2;
+        for v in s[at..at + period].iter_mut() {
+            *v = v.abs() * 0.3 + 0.4;
+        }
+        s
+    }
+
+    #[test]
+    fn finds_planted_discord() {
+        let period = 25;
+        let series = periodic_with_outlier(500, period);
+        let d = hotsax_discord(&series, period, SaxConfig::new(3, 3)).expect("discord");
+        assert!(
+            (250 - period..=250 + period).contains(&d.start),
+            "discord at {}",
+            d.start
+        );
+    }
+
+    #[test]
+    fn agrees_with_matrix_profile_discord() {
+        let series = periodic_with_outlier(400, 20);
+        let m = 20;
+        let hs = hotsax_discord(&series, m, SaxConfig::new(3, 3)).unwrap();
+        let mp = stomp_with_exclusion(&series, m, m - 1);
+        let top = mp.discords(1)[0];
+        assert!(
+            (hs.distance - top.distance).abs() < 1e-6,
+            "HOTSAX {} vs STOMP {}",
+            hs.distance,
+            top.distance
+        );
+        // Positions may differ among ties; distances must match.
+    }
+
+    #[test]
+    fn too_short_series_returns_none() {
+        assert!(hotsax_discord(&[1.0; 30], 20, SaxConfig::new(3, 3)).is_none());
+        assert!(hotsax_discord(&[], 4, SaxConfig::new(3, 3)).is_none());
+    }
+
+    #[test]
+    fn top_k_discords_are_non_overlapping_and_descending() {
+        let mut series = periodic_with_outlier(600, 30);
+        // Add a second, milder outlier in the first half.
+        for (off, v) in series[120..150].iter_mut().enumerate() {
+            *v += 0.3 * ((off as f64) / 30.0);
+        }
+        let ds = crate::hotsax::hotsax_discords(&series, 30, SaxConfig::new(3, 3), 3);
+        assert!(ds.len() >= 2, "found {}", ds.len());
+        for pair in ds.windows(2) {
+            assert!(pair[0].distance >= pair[1].distance - 1e-9);
+        }
+        for i in 0..ds.len() {
+            for j in i + 1..ds.len() {
+                assert!(
+                    !egi_tskit::window::intervals_overlap(
+                        ds[i].start,
+                        ds[i].len,
+                        ds[j].start,
+                        ds[j].len
+                    ),
+                    "{:?} overlaps {:?}",
+                    ds[i],
+                    ds[j]
+                );
+            }
+        }
+        // Top discord matches the single-discord search.
+        let top = hotsax_discord(&series, 30, SaxConfig::new(3, 3)).unwrap();
+        assert!((ds[0].distance - top.distance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_k_with_k_zero_is_empty() {
+        let series = periodic_with_outlier(300, 20);
+        assert!(crate::hotsax::hotsax_discords(&series, 20, SaxConfig::new(3, 3), 0).is_empty());
+    }
+
+    #[test]
+    fn pseudo_random_order_is_a_permutation() {
+        let order = pseudo_random_order(100, 42);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(order, (0..100).collect::<Vec<_>>());
+    }
+}

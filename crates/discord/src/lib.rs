@@ -1,0 +1,39 @@
+//! # egi-discord — distance-based anomaly detection baselines
+//!
+//! The paper compares ensemble grammar induction against *time series
+//! discords*: the subsequences with the largest one-nearest-neighbor
+//! distance. This crate implements that whole family from scratch:
+//!
+//! * [`fft`] — an in-house radix-2 FFT (no external DSP crates), used by
+//!   the MASS distance-profile algorithm.
+//! * [`dist`] — z-normalized Euclidean distances and the dot-product
+//!   identity `d² = 2m(1 − (QT − m·μ_q·μ_t)/(m·σ_q·σ_t))`.
+//! * [`mass`] — MASS: one query's distance profile in `O(N log N)`.
+//! * [`profile`] — the matrix profile type plus discord extraction.
+//! * [`brute`] — `O(N²·m)` reference matrix profile (test oracle).
+//! * [`mod@stomp`] — STOMP \[23\]: `O(N²)` matrix profile with incremental dot
+//!   products; the implementation the paper benchmarks against (Fig. 8).
+//! * [`mod@stamp`] — STAMP \[21\]: MASS-per-query matrix profile.
+//! * [`hotsax`] — the original HOTSAX discord search \[9\] with SAX-bucket
+//!   outer-loop ordering and early abandoning.
+//! * [`detector`] — [`DiscordDetector`]: the "Discord" baseline of the
+//!   evaluation (top-k non-overlapping discords via STOMP).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod brute;
+pub mod detector;
+pub mod dist;
+pub mod fft;
+pub mod hotsax;
+pub mod mass;
+pub mod profile;
+pub mod stamp;
+pub mod stomp;
+
+pub use detector::{DiscordConfig, DiscordDetector};
+pub use hotsax::{hotsax_discord, hotsax_discords};
+pub use profile::{Discord, MatrixProfile};
+pub use stamp::stamp;
+pub use stomp::stomp;

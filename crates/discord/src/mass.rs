@@ -1,0 +1,115 @@
+//! MASS — Mueen's Algorithm for Similarity Search.
+//!
+//! Computes the full distance profile of one query window against every
+//! window of a series in `O(N log N)`: sliding dot products via FFT, then
+//! the z-normalized distance identity per window.
+
+use crate::dist::WindowStats;
+use crate::fft::sliding_dot_products;
+
+/// Distance profile of `series[q..q+m]` against all windows of `series`.
+///
+/// `stats` must have been built for the same series and window length.
+/// No exclusion is applied; callers mask self-matches.
+pub fn mass_self(series: &[f64], q: usize, stats: &WindowStats) -> Vec<f64> {
+    let m = stats.m;
+    let query = &series[q..q + m];
+    let qts = sliding_dot_products(query, series);
+    qts.iter()
+        .enumerate()
+        .map(|(j, &qt)| stats.dist(q, j, qt))
+        .collect()
+}
+
+/// Distance profile of an external `query` against all windows of
+/// `series` (used by tests and the HOTSAX oracle checks).
+pub fn mass(query: &[f64], series: &[f64]) -> Vec<f64> {
+    let m = query.len();
+    assert!(m > 0 && m <= series.len(), "bad query length");
+    // Build a combined buffer so WindowStats covers the query too: treat
+    // the query as a window of its own statistics.
+    let stats = WindowStats::new(series, m);
+    let q_mu = egi_tskit::stats::mean(query);
+    let q_var = {
+        let ss: f64 = query.iter().map(|&v| (v - q_mu) * (v - q_mu)).sum();
+        ss / m as f64
+    };
+    let q_sigma = if egi_tskit::stats::is_flat(q_mu, q_var) {
+        0.0
+    } else {
+        q_var.sqrt()
+    };
+    let qts = sliding_dot_products(query, series);
+    qts.iter()
+        .enumerate()
+        .map(|(j, &qt)| {
+            let (si, sj) = (q_sigma, stats.sigma[j]);
+            if si == 0.0 && sj == 0.0 {
+                0.0
+            } else if si == 0.0 || sj == 0.0 {
+                (2.0 * m as f64).sqrt()
+            } else {
+                let mf = m as f64;
+                let corr = (qt - mf * q_mu * stats.mu[j]) / (mf * si * sj);
+                (2.0 * mf * (1.0 - corr.clamp(-1.0, 1.0))).sqrt()
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::znorm_euclidean;
+
+    #[test]
+    fn self_profile_has_zero_at_query() {
+        let series: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() + 0.1 * (i as f64 * 1.7).cos()).collect();
+        let m = 10;
+        let stats = WindowStats::new(&series, m);
+        let dp = mass_self(&series, 25, &stats);
+        assert_eq!(dp.len(), 91);
+        assert!(dp[25].abs() < 1e-6, "self distance {}", dp[25]);
+    }
+
+    #[test]
+    fn profile_matches_direct_distances() {
+        let series: Vec<f64> = (0..80)
+            .map(|i| ((i as f64) * 0.9).sin() * 2.0 + (i as f64 * 0.05))
+            .collect();
+        let m = 12;
+        let stats = WindowStats::new(&series, m);
+        let q = 30;
+        let dp = mass_self(&series, q, &stats);
+        let rescale = (m as f64 / (m as f64 - 1.0)).sqrt();
+        for j in (0..dp.len()).step_by(7) {
+            let direct = znorm_euclidean(&series[q..q + m], &series[j..j + m]) * rescale;
+            assert!(
+                (dp[j] - direct).abs() < 1e-6,
+                "j={j}: {} vs {}",
+                dp[j],
+                direct
+            );
+        }
+    }
+
+    #[test]
+    fn external_query_profile_matches_self_profile() {
+        let series: Vec<f64> = (0..60).map(|i| (i as f64 * 0.5).cos()).collect();
+        let m = 8;
+        let stats = WindowStats::new(&series, m);
+        let q = 13;
+        let a = mass_self(&series, q, &stats);
+        let b = mass(series[q..q + m].to_vec().as_slice(), &series);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn flat_query_against_flat_series() {
+        let series = vec![3.0; 30];
+        let dp = mass(&[3.0; 5], &series);
+        assert!(dp.iter().all(|&d| d == 0.0));
+    }
+}

@@ -1,0 +1,124 @@
+//! The matrix profile type and discord extraction.
+
+use egi_tskit::window::intervals_overlap;
+
+/// A discord: a subsequence whose nearest non-self neighbor is far away.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Discord {
+    /// Window start position.
+    pub start: usize,
+    /// Window length.
+    pub len: usize,
+    /// 1-NN (z-normalized Euclidean) distance — higher is more anomalous.
+    pub distance: f64,
+}
+
+/// The matrix profile of a series for window length `m`: per window, the
+/// distance to (and index of) its nearest non-self match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixProfile {
+    /// Window length the profile was computed for.
+    pub m: usize,
+    /// Exclusion zone half-width used (|i − j| ≤ zone are self-matches).
+    pub exclusion: usize,
+    /// `profile[i]` — distance from window `i` to its nearest neighbor.
+    pub profile: Vec<f64>,
+    /// `index[i]` — position of that neighbor (`usize::MAX` if none).
+    pub index: Vec<usize>,
+}
+
+impl MatrixProfile {
+    /// Number of windows.
+    pub fn len(&self) -> usize {
+        self.profile.len()
+    }
+
+    /// `true` when the profile is empty.
+    pub fn is_empty(&self) -> bool {
+        self.profile.is_empty()
+    }
+
+    /// Extracts the top-`k` non-overlapping discords: windows with the
+    /// largest nearest-neighbor distance, greedily filtered so no two
+    /// reported windows overlap.
+    ///
+    /// Windows whose neighborhood was entirely excluded (profile still at
+    /// `+∞`) are skipped — they carry no evidence.
+    pub fn discords(&self, k: usize) -> Vec<Discord> {
+        let mut order: Vec<usize> = (0..self.profile.len())
+            .filter(|&i| self.profile[i].is_finite())
+            .collect();
+        order.sort_by(|&x, &y| {
+            self.profile[y]
+                .partial_cmp(&self.profile[x])
+                .expect("profile distances are finite")
+                .then(x.cmp(&y))
+        });
+        let mut picked: Vec<Discord> = Vec::with_capacity(k);
+        for i in order {
+            if picked.len() == k {
+                break;
+            }
+            if picked
+                .iter()
+                .all(|d| !intervals_overlap(d.start, d.len, i, self.m))
+            {
+                picked.push(Discord {
+                    start: i,
+                    len: self.m,
+                    distance: self.profile[i],
+                });
+            }
+        }
+        picked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mp(profile: Vec<f64>, m: usize) -> MatrixProfile {
+        let index = vec![0; profile.len()];
+        MatrixProfile {
+            m,
+            exclusion: m,
+            profile,
+            index,
+        }
+    }
+
+    #[test]
+    fn top_discord_is_max_distance() {
+        let p = mp(vec![1.0, 5.0, 2.0, 1.0, 1.0, 1.0], 2);
+        let d = p.discords(1);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].start, 1);
+        assert_eq!(d[0].distance, 5.0);
+    }
+
+    #[test]
+    fn discords_do_not_overlap() {
+        let p = mp(vec![9.0, 8.5, 8.0, 1.0, 1.0, 7.0, 6.0, 1.0], 3);
+        let d = p.discords(2);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].start, 0);
+        // 1 and 2 overlap window 0 (length 3) → next is 5.
+        assert_eq!(d[1].start, 5);
+    }
+
+    #[test]
+    fn infinite_profile_entries_are_skipped() {
+        let p = mp(vec![f64::INFINITY, 2.0, 1.0], 1);
+        let d = p.discords(3);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].start, 1);
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = mp(vec![], 4);
+        assert!(p.is_empty());
+        assert!(p.discords(2).is_empty());
+    }
+}

@@ -1,0 +1,106 @@
+//! STAMP — the anytime matrix profile (Yeh et al., the paper's reference
+//! \[21\]): one MASS distance profile per query window, `O(N² log N)` total.
+//!
+//! Slower asymptotically than STOMP but embarrassingly simple and anytime
+//! (profiles converge monotonically as more queries are processed); we use
+//! it as a cross-check of STOMP and in the matrix profile ablation bench.
+
+use crate::dist::WindowStats;
+use crate::mass::mass_self;
+use crate::profile::MatrixProfile;
+use crate::stomp::default_exclusion;
+
+/// Computes the matrix profile via STAMP with exclusion half-width
+/// `exclusion`.
+pub fn stamp_with_exclusion(series: &[f64], m: usize, exclusion: usize) -> MatrixProfile {
+    let ws = WindowStats::new(series, m);
+    let count = ws.count();
+    let mut profile = vec![f64::INFINITY; count];
+    let mut index = vec![usize::MAX; count];
+    for q in 0..count {
+        let dp = mass_self(series, q, &ws);
+        for (j, &d) in dp.iter().enumerate() {
+            if q.abs_diff(j) <= exclusion {
+                continue;
+            }
+            // Update both ends: d(q, j) bounds profile[q] and profile[j].
+            if d < profile[q] {
+                profile[q] = d;
+                index[q] = j;
+            }
+            if d < profile[j] {
+                profile[j] = d;
+                index[j] = q;
+            }
+        }
+    }
+    MatrixProfile {
+        m,
+        exclusion,
+        profile,
+        index,
+    }
+}
+
+/// STAMP with the default `m/2` exclusion zone.
+pub fn stamp(series: &[f64], m: usize) -> MatrixProfile {
+    stamp_with_exclusion(series, m, default_exclusion(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force;
+    use crate::stomp::stomp_with_exclusion;
+
+    fn test_series(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                (t * 0.21).sin() + 0.5 * (t * 0.07).cos() + ((i * 31) % 7) as f64 * 0.1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stamp_matches_brute_force() {
+        let series = test_series(120);
+        let m = 10;
+        let exc = m - 1;
+        let fast = stamp_with_exclusion(&series, m, exc);
+        let slow = brute_force(&series, m, exc);
+        for i in 0..fast.len() {
+            assert!(
+                (fast.profile[i] - slow.profile[i]).abs() < 1e-6,
+                "i={i}: {} vs {}",
+                fast.profile[i],
+                slow.profile[i]
+            );
+        }
+    }
+
+    #[test]
+    fn stamp_matches_stomp() {
+        let series = test_series(200);
+        for &m in &[6usize, 12] {
+            let a = stamp_with_exclusion(&series, m, m / 2);
+            let b = stomp_with_exclusion(&series, m, m / 2);
+            for i in 0..a.len() {
+                assert!(
+                    (a.profile[i] - b.profile[i]).abs() < 1e-6,
+                    "m={m} i={i}: {} vs {}",
+                    a.profile[i],
+                    b.profile[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stamp_default_wrapper() {
+        let series = test_series(60);
+        let mp = stamp(&series, 8);
+        assert_eq!(mp.len(), 53);
+        assert_eq!(mp.exclusion, 4);
+    }
+}

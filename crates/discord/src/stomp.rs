@@ -1,0 +1,155 @@
+//! STOMP — the `O(N²)` matrix profile with incremental dot products
+//! (Zhu et al., "Matrix Profile II", the paper's reference \[23\] and the
+//! Discord baseline implementation used throughout its evaluation).
+//!
+//! Row `i`'s dot products derive from row `i−1`'s in O(1) each:
+//! `QT[i][j] = QT[i−1][j−1] − t[i−1]·t[j−1] + t[i+m−1]·t[j+m−1]`.
+//! Memory stays O(N): one QT row, updated in place right-to-left, plus the
+//! cached first row for the `j = 0` column.
+
+use crate::dist::WindowStats;
+use crate::profile::MatrixProfile;
+
+/// Default exclusion half-width: `m/2`, the usual matrix profile
+/// convention (trivial matches share more than half their points).
+pub fn default_exclusion(m: usize) -> usize {
+    (m / 2).max(1)
+}
+
+/// Computes the matrix profile of `series` for window length `m` using
+/// STOMP with exclusion half-width `exclusion`.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `m > series.len()`.
+pub fn stomp_with_exclusion(series: &[f64], m: usize, exclusion: usize) -> MatrixProfile {
+    let ws = WindowStats::new(series, m);
+    let count = ws.count();
+    let mut profile = vec![f64::INFINITY; count];
+    let mut index = vec![usize::MAX; count];
+
+    // First row of QT by direct dot products: O(N·m).
+    let mut qt: Vec<f64> = (0..count)
+        .map(|j| {
+            series[0..m]
+                .iter()
+                .zip(&series[j..j + m])
+                .map(|(x, y)| x * y)
+                .sum()
+        })
+        .collect();
+    // QT[i][0] equals QT[0][i] by symmetry; keep the first row around.
+    let qt_first = qt.clone();
+
+    let mut update_row = |i: usize, qt: &mut [f64]| {
+        for j in (0..count).rev() {
+            if i.abs_diff(j) <= exclusion {
+                continue;
+            }
+            let d = ws.dist(i, j, qt[j]);
+            if d < profile[i] {
+                profile[i] = d;
+                index[i] = j;
+            }
+        }
+    };
+
+    update_row(0, &mut qt);
+    for i in 1..count {
+        // In-place right-to-left update keeps QT[i−1][j−1] available.
+        for j in (1..count).rev() {
+            qt[j] = qt[j - 1] - series[i - 1] * series[j - 1] + series[i + m - 1] * series[j + m - 1];
+        }
+        qt[0] = qt_first[i];
+        update_row(i, &mut qt);
+    }
+
+    MatrixProfile {
+        m,
+        exclusion,
+        profile,
+        index,
+    }
+}
+
+/// STOMP with the default `m/2` exclusion zone.
+pub fn stomp(series: &[f64], m: usize) -> MatrixProfile {
+    stomp_with_exclusion(series, m, default_exclusion(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force;
+
+    fn test_series(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                (t * 0.31).sin() * 2.0 + (t * 0.057).cos() + ((i * 7919) % 13) as f64 * 0.05
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_exactly_enough() {
+        let series = test_series(150);
+        for &m in &[5usize, 8, 16] {
+            let exc = m - 1;
+            let fast = stomp_with_exclusion(&series, m, exc);
+            let slow = brute_force(&series, m, exc);
+            assert_eq!(fast.len(), slow.len());
+            for i in 0..fast.len() {
+                assert!(
+                    (fast.profile[i] - slow.profile[i]).abs() < 1e-6,
+                    "m={m} i={i}: {} vs {}",
+                    fast.profile[i],
+                    slow.profile[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn discord_found_on_planted_anomaly() {
+        let mut series: Vec<f64> = (0..300)
+            .map(|i| (i as f64 * std::f64::consts::TAU / 30.0).sin())
+            .collect();
+        // Corrupt one period.
+        for v in series[150..180].iter_mut() {
+            *v = 0.2;
+        }
+        let mp = stomp(&series, 30);
+        let top = mp.discords(1)[0];
+        assert!(
+            (120..=180).contains(&top.start),
+            "discord at {}",
+            top.start
+        );
+    }
+
+    #[test]
+    fn default_exclusion_sane() {
+        assert_eq!(default_exclusion(10), 5);
+        assert_eq!(default_exclusion(1), 1);
+    }
+
+    #[test]
+    fn profile_of_pure_period_is_near_zero() {
+        let series: Vec<f64> = (0..240)
+            .map(|i| (i as f64 * std::f64::consts::TAU / 24.0).sin())
+            .collect();
+        let mp = stomp(&series, 24);
+        // Every window repeats exactly one period away.
+        let max = mp.profile.iter().cloned().fold(0.0, f64::max);
+        assert!(max < 1e-4, "max profile {max}");
+    }
+
+    #[test]
+    fn single_window_series() {
+        let series = vec![1.0, 2.0, 3.0];
+        let mp = stomp(&series, 3);
+        assert_eq!(mp.len(), 1);
+        assert!(mp.profile[0].is_infinite());
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based cross-checks of the matrix profile implementations.
+//!
+//! STOMP and STAMP take completely different routes to the same numbers
+//! (incremental dot products vs FFT convolutions); agreement with each
+//! other and with the brute-force oracle over random inputs is the
+//! strongest correctness evidence available without external fixtures.
+
+use egi_discord::brute::brute_force;
+use egi_discord::stamp::stamp_with_exclusion;
+use egi_discord::stomp::stomp_with_exclusion;
+use proptest::prelude::*;
+
+fn series_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, 40..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// STOMP ≡ brute force over random series and window lengths.
+    #[test]
+    fn stomp_matches_brute(series in series_strategy(), m in 4usize..16) {
+        prop_assume!(series.len() >= 2 * m);
+        let exc = m - 1;
+        let fast = stomp_with_exclusion(&series, m, exc);
+        let slow = brute_force(&series, m, exc);
+        for i in 0..fast.len() {
+            let (f, s) = (fast.profile[i], slow.profile[i]);
+            // Windows with no admissible neighbor stay at +inf on both
+            // sides; inf − inf is NaN, so equality is checked explicitly.
+            let equal = (f.is_infinite() && s.is_infinite()) || (f - s).abs() < 1e-5;
+            prop_assert!(equal, "i={}: {} vs {}", i, f, s);
+        }
+    }
+
+    /// STAMP ≡ STOMP (FFT route vs incremental route).
+    #[test]
+    fn stamp_matches_stomp(series in series_strategy(), m in 4usize..16) {
+        prop_assume!(series.len() >= 2 * m);
+        let a = stamp_with_exclusion(&series, m, m / 2);
+        let b = stomp_with_exclusion(&series, m, m / 2);
+        for i in 0..a.len() {
+            let (x, y) = (a.profile[i], b.profile[i]);
+            let equal = (x.is_infinite() && y.is_infinite()) || (x - y).abs() < 1e-5;
+            prop_assert!(equal, "i={}: {} vs {}", i, x, y);
+        }
+    }
+
+    /// Matrix profile values are symmetric evidence: profile[i] is the
+    /// distance to index[i], and that distance is achievable from the
+    /// other side too (profile[index[i]] ≤ profile[i]).
+    #[test]
+    fn neighbor_distance_is_mutual_upper_bound(series in series_strategy(), m in 4usize..12) {
+        prop_assume!(series.len() >= 2 * m);
+        let mp = stomp_with_exclusion(&series, m, m - 1);
+        for i in 0..mp.len() {
+            let j = mp.index[i];
+            if j != usize::MAX {
+                prop_assert!(
+                    mp.profile[j] <= mp.profile[i] + 1e-6,
+                    "profile[{}]={} > profile[{}]={}",
+                    j, mp.profile[j], i, mp.profile[i]
+                );
+            }
+        }
+    }
+
+    /// Scaling and shifting the series leaves the (z-normalized) matrix
+    /// profile unchanged.
+    #[test]
+    fn profile_is_scale_shift_invariant(
+        series in series_strategy(),
+        scale in 0.5f64..10.0,
+        shift in -50.0f64..50.0,
+    ) {
+        prop_assume!(series.len() >= 24);
+        let m = 8;
+        let transformed: Vec<f64> = series.iter().map(|v| v * scale + shift).collect();
+        let a = stomp_with_exclusion(&series, m, m - 1);
+        let b = stomp_with_exclusion(&transformed, m, m - 1);
+        for i in 0..a.len() {
+            prop_assert!(
+                (a.profile[i] - b.profile[i]).abs() < 1e-4,
+                "i={}: {} vs {}", i, a.profile[i], b.profile[i]
+            );
+        }
+    }
+}

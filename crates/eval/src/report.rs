@@ -1,0 +1,69 @@
+//! Result persistence: markdown sections to stdout/file, raw results as
+//! JSON for later re-plotting.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// A sink for experiment outputs: a directory receiving one `.md` and one
+/// `.json` file per experiment, plus optional CSVs.
+#[derive(Debug, Clone)]
+pub struct ReportSink {
+    dir: PathBuf,
+}
+
+impl ReportSink {
+    /// Creates (if needed) the output directory.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The directory path.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Writes a markdown section under `<name>.md` and echoes it to
+    /// stdout with a title line.
+    pub fn markdown(&self, name: &str, title: &str, body: &str) -> io::Result<()> {
+        let text = format!("## {title}\n\n{body}\n");
+        println!("{text}");
+        fs::write(self.dir.join(format!("{name}.md")), &text)
+    }
+
+    /// Persists raw results as pretty JSON under `<name>.json`.
+    pub fn json<T: Serialize>(&self, name: &str, value: &T) -> io::Result<()> {
+        let text = serde_json::to_string_pretty(value)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        fs::write(self.dir.join(format!("{name}.json")), text)
+    }
+
+    /// Writes a CSV payload under `<name>.csv`.
+    pub fn csv(&self, name: &str, payload: &str) -> io::Result<()> {
+        fs::write(self.dir.join(format!("{name}.csv")), payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_all_artifact_kinds() {
+        let dir = std::env::temp_dir().join("egi_eval_report_test");
+        let sink = ReportSink::new(&dir).unwrap();
+        sink.markdown("t", "Title", "| a |\n|---|\n| 1 |").unwrap();
+        sink.json("t", &vec![1, 2, 3]).unwrap();
+        sink.csv("t", "a,b\n1,2\n").unwrap();
+        assert!(dir.join("t.md").exists());
+        assert!(dir.join("t.json").exists());
+        assert!(dir.join("t.csv").exists());
+        let md = std::fs::read_to_string(dir.join("t.md")).unwrap();
+        assert!(md.starts_with("## Title"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,229 @@
+//! Gaussian equiprobable breakpoint tables.
+//!
+//! SAX maps each PAA coefficient to a symbol by locating it among `a − 1`
+//! breakpoints chosen so the standard normal density assigns equal
+//! probability `1/a` to every region (paper Section 4.1, Figure 3). The
+//! breakpoints are `β_i = Φ⁻¹(i/a)` for `i = 1..a−1`, computed here with
+//! Acklam's rational approximation of the probit function (relative error
+//! below 1.15e−9 — far tighter than discretization needs).
+
+/// Largest supported alphabet size. The paper sweeps `a ≤ 20`.
+pub const MAX_ALPHABET: usize = 26; // one symbol per Latin letter
+
+/// Smallest meaningful alphabet size.
+pub const MIN_ALPHABET: usize = 2;
+
+/// Inverse CDF (probit) of the standard normal distribution.
+///
+/// Peter Acklam's algorithm: rational approximations on the central and
+/// tail regions. Input must lie in `(0, 1)`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `(0, 1)`.
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probit input must be in (0,1), got {p}");
+
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// The `a − 1` breakpoints for one alphabet size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakpointTable {
+    alphabet: usize,
+    cuts: Vec<f64>,
+}
+
+impl BreakpointTable {
+    /// Builds the equiprobable breakpoint table for alphabet size `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `MIN_ALPHABET ≤ a ≤ MAX_ALPHABET`.
+    pub fn new(a: usize) -> Self {
+        assert!(
+            (MIN_ALPHABET..=MAX_ALPHABET).contains(&a),
+            "alphabet size {a} outside [{MIN_ALPHABET}, {MAX_ALPHABET}]"
+        );
+        let cuts = (1..a).map(|i| inverse_normal_cdf(i as f64 / a as f64)).collect();
+        Self { alphabet: a, cuts }
+    }
+
+    /// Alphabet size this table was built for.
+    pub fn alphabet(&self) -> usize {
+        self.alphabet
+    }
+
+    /// The sorted breakpoints (`len == alphabet − 1`).
+    pub fn cuts(&self) -> &[f64] {
+        &self.cuts
+    }
+
+    /// Maps a PAA coefficient to its symbol index in `0..alphabet`.
+    ///
+    /// Region `i` is `[β_i, β_{i+1})` with `β_0 = −∞`; binary search makes
+    /// this `O(log a)`.
+    #[inline]
+    pub fn symbol(&self, value: f64) -> u8 {
+        // partition_point returns the count of cuts <= value, i.e. the
+        // index of the first region whose lower bound exceeds value.
+        self.cuts.partition_point(|&c| c <= value) as u8
+    }
+
+    /// Renders a symbol index as a lowercase letter (`0 → 'a'`).
+    pub fn letter(symbol: u8) -> char {
+        (b'a' + symbol) as char
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probit_known_values() {
+        assert!(inverse_normal_cdf(0.5).abs() < 1e-9);
+        // Φ⁻¹(0.975) ≈ 1.959964
+        assert!((inverse_normal_cdf(0.975) - 1.959964).abs() < 1e-5);
+        assert!((inverse_normal_cdf(0.025) + 1.959964).abs() < 1e-5);
+        // Deep tails stay finite and monotone.
+        assert!(inverse_normal_cdf(1e-12) < -6.0);
+        assert!(inverse_normal_cdf(1.0 - 1e-12) > 6.0);
+    }
+
+    #[test]
+    fn probit_is_odd_function() {
+        for &p in &[0.01, 0.1, 0.3, 0.45] {
+            let lo = inverse_normal_cdf(p);
+            let hi = inverse_normal_cdf(1.0 - p);
+            assert!((lo + hi).abs() < 1e-8, "asymmetry at p={p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probit input")]
+    fn probit_rejects_zero() {
+        inverse_normal_cdf(0.0);
+    }
+
+    #[test]
+    fn table_a3_matches_paper() {
+        // Paper Figure 3: a = 3 → breakpoints ±0.43.
+        let t = BreakpointTable::new(3);
+        assert_eq!(t.cuts().len(), 2);
+        assert!((t.cuts()[0] + 0.4307).abs() < 1e-3);
+        assert!((t.cuts()[1] - 0.4307).abs() < 1e-3);
+    }
+
+    #[test]
+    fn table_a4_matches_sax_literature() {
+        // Canonical SAX table: a = 4 → −0.67, 0, 0.67.
+        let t = BreakpointTable::new(4);
+        assert!((t.cuts()[0] + 0.6745).abs() < 1e-3);
+        assert!(t.cuts()[1].abs() < 1e-9);
+        assert!((t.cuts()[2] - 0.6745).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cuts_are_sorted_and_symmetric() {
+        for a in MIN_ALPHABET..=MAX_ALPHABET {
+            let t = BreakpointTable::new(a);
+            assert_eq!(t.cuts().len(), a - 1);
+            for w in t.cuts().windows(2) {
+                assert!(w[0] < w[1], "a={a} cuts not increasing");
+            }
+            // Symmetry: β_i = −β_{a−i}.
+            for i in 0..t.cuts().len() {
+                let j = t.cuts().len() - 1 - i;
+                assert!((t.cuts()[i] + t.cuts()[j]).abs() < 1e-8, "a={a} not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn symbol_assignment_a3() {
+        let t = BreakpointTable::new(3);
+        assert_eq!(t.symbol(-1.0), 0); // below −0.43 → 'a'
+        assert_eq!(t.symbol(0.0), 1); // middle → 'b'
+        assert_eq!(t.symbol(1.0), 2); // above 0.43 → 'c'
+    }
+
+    #[test]
+    fn symbol_boundary_is_left_closed() {
+        let t = BreakpointTable::new(4);
+        let cut = t.cuts()[1]; // 0.0
+        // Region convention [β_i, β_{i+1}): the cut itself belongs above.
+        assert_eq!(t.symbol(cut), 2);
+        assert_eq!(t.symbol(cut - 1e-12), 1);
+    }
+
+    #[test]
+    fn symbols_cover_whole_alphabet() {
+        for a in MIN_ALPHABET..=10 {
+            let t = BreakpointTable::new(a);
+            let mut seen = vec![false; a];
+            for i in -400..=400 {
+                let v = i as f64 / 100.0;
+                seen[t.symbol(v) as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "a={a}: not all symbols reachable");
+        }
+    }
+
+    #[test]
+    fn letters_render() {
+        assert_eq!(BreakpointTable::letter(0), 'a');
+        assert_eq!(BreakpointTable::letter(2), 'c');
+        assert_eq!(BreakpointTable::letter(25), 'z');
+    }
+
+    #[test]
+    #[should_panic(expected = "alphabet size")]
+    fn rejects_alphabet_of_one() {
+        BreakpointTable::new(1);
+    }
+}

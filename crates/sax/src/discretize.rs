@@ -1,0 +1,251 @@
+//! Whole-series discretization.
+//!
+//! [`FastSax`] is the production path: prefix-sum statistics make each
+//! window's z-normalized PAA cost `O(w)` instead of `O(n)` (paper
+//! Algorithm 2), and the merged breakpoint table resolves symbols for any
+//! alphabet with one binary search. [`discretize_series_naive`] is the
+//! executable specification the fast path is tested against.
+
+use egi_tskit::stats::{is_flat, PrefixStats};
+use egi_tskit::window::window_count;
+
+use crate::breakpoints::BreakpointTable;
+use crate::multires::MultiResBreakpoints;
+use crate::numerosity::{numerosity_reduce, NumerosityReduced};
+use crate::paa::segment_bound;
+use crate::word::{sax_word, SaxConfig, SaxWord};
+
+/// Prefix-sum-accelerated SAX over one series (paper Algorithm 2).
+///
+/// Construction is `O(N)`; each subsequent word extraction is
+/// `O(w log a)`, independent of the window length `n`.
+#[derive(Debug, Clone)]
+pub struct FastSax<'a> {
+    data: &'a [f64],
+    stats: PrefixStats,
+}
+
+impl<'a> FastSax<'a> {
+    /// Precomputes `ESum_x` / `ESum_xx` over `data`.
+    pub fn new(data: &'a [f64]) -> Self {
+        Self {
+            data,
+            stats: PrefixStats::new(data),
+        }
+    }
+
+    /// The underlying series.
+    pub fn data(&self) -> &'a [f64] {
+        self.data
+    }
+
+    /// Series length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// PAA coefficients of the z-normalized window `[start, start + n)`,
+    /// written into `out` (whose length is the PAA size `w`).
+    ///
+    /// This is Algorithm 2 verbatim: window mean and stddev from the
+    /// prefix sums in O(1), then one prefix-sum subtraction per segment.
+    /// Flat windows (per [`egi_tskit::stats::is_flat`]) produce all-zero
+    /// coefficients, mirroring [`egi_tskit::stats::znormalize`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is out of bounds or `out.len() > n`.
+    pub fn paa_znorm_into(&self, start: usize, n: usize, out: &mut [f64]) {
+        let w = out.len();
+        assert!(w > 0 && w <= n, "PAA size {w} invalid for window {n}");
+        assert!(start + n <= self.data.len(), "window out of bounds");
+        let end = start + n;
+        let mu = self.stats.range_mean(start, end);
+        let var = if n < 2 {
+            0.0
+        } else {
+            self.stats.range_variance(start, end)
+        };
+        if is_flat(mu, var) {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            return;
+        }
+        let sigma = var.sqrt();
+        for (i, coeff) in out.iter_mut().enumerate() {
+            let s = start + segment_bound(i, n, w);
+            let e = start + segment_bound(i + 1, n, w);
+            let seg_mean = self.stats.range_sum(s, e) / (e - s) as f64;
+            *coeff = (seg_mean - mu) / sigma;
+        }
+    }
+
+    /// SAX word of window `[start, start + n)` under a single-resolution
+    /// breakpoint table.
+    pub fn word(&self, start: usize, n: usize, w: usize, table: &BreakpointTable) -> SaxWord {
+        let mut coeffs = vec![0.0; w];
+        self.paa_znorm_into(start, n, &mut coeffs);
+        SaxWord(coeffs.iter().map(|&c| table.symbol(c)).collect())
+    }
+
+    /// SAX word of window `[start, start + n)` under alphabet `a`, using a
+    /// shared multi-resolution table (one binary search per coefficient).
+    pub fn word_multires(
+        &self,
+        start: usize,
+        n: usize,
+        cfg: SaxConfig,
+        multi: &MultiResBreakpoints,
+        scratch: &mut Vec<f64>,
+    ) -> SaxWord {
+        scratch.clear();
+        scratch.resize(cfg.w, 0.0);
+        self.paa_znorm_into(start, n, scratch);
+        SaxWord(scratch.iter().map(|&c| multi.symbol(c, cfg.a)).collect())
+    }
+}
+
+/// Discretizes the whole series with the fast path and numerosity-reduces.
+///
+/// `n` is the sliding-window length. Returns an empty token sequence when
+/// the series is shorter than the window.
+pub fn discretize_series(
+    fast: &FastSax<'_>,
+    n: usize,
+    cfg: SaxConfig,
+    multi: &MultiResBreakpoints,
+) -> NumerosityReduced {
+    let count = window_count(fast.len(), n);
+    let mut words = Vec::with_capacity(count);
+    let mut scratch = Vec::with_capacity(cfg.w);
+    for start in 0..count {
+        words.push(fast.word_multires(start, n, cfg, multi, &mut scratch));
+    }
+    numerosity_reduce(words, n)
+}
+
+/// Reference implementation: per-window copy, z-normalize, PAA, per-`a`
+/// breakpoint table. `O(N·n)` — for tests and the FastPAA ablation bench.
+pub fn discretize_series_naive(data: &[f64], n: usize, cfg: SaxConfig) -> NumerosityReduced {
+    let table = BreakpointTable::new(cfg.a);
+    let count = window_count(data.len(), n);
+    let mut words = Vec::with_capacity(count);
+    for start in 0..count {
+        words.push(sax_word(&data[start..start + n], cfg, &table));
+    }
+    numerosity_reduce(words, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave(len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| (i as f64 / 7.0).sin() * 2.0 + (i as f64 / 23.0).cos())
+            .collect()
+    }
+
+    #[test]
+    fn fast_paa_matches_naive_paa() {
+        let data = wave(300);
+        let fast = FastSax::new(&data);
+        let mut out = vec![0.0; 6];
+        for start in [0usize, 13, 140, 268] {
+            let n = 32;
+            fast.paa_znorm_into(start, n, &mut out);
+            let mut z = data[start..start + n].to_vec();
+            egi_tskit::stats::znormalize(&mut z);
+            let naive = crate::paa::paa(&z, 6);
+            for (f, nv) in out.iter().zip(&naive) {
+                assert!((f - nv).abs() < 1e-9, "start {start}: {f} vs {nv}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_paa_flat_window_is_zero() {
+        let mut data = wave(100);
+        for v in data[40..60].iter_mut() {
+            *v = 3.25;
+        }
+        let fast = FastSax::new(&data);
+        let mut out = vec![0.0; 4];
+        fast.paa_znorm_into(42, 16, &mut out);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn fast_and_naive_discretization_agree() {
+        let data = wave(500);
+        let n = 48;
+        let multi = MultiResBreakpoints::new(10);
+        let fast = FastSax::new(&data);
+        for &(w, a) in &[(4usize, 4usize), (7, 3), (10, 10), (2, 2)] {
+            let cfg = SaxConfig::new(w, a);
+            let fast_nr = discretize_series(&fast, n, cfg, &multi);
+            let naive_nr = discretize_series_naive(&data, n, cfg);
+            assert_eq!(fast_nr, naive_nr, "divergence at w={w} a={a}");
+        }
+    }
+
+    #[test]
+    fn short_series_yields_empty() {
+        let data = [1.0, 2.0];
+        let fast = FastSax::new(&data);
+        let multi = MultiResBreakpoints::new(4);
+        let nr = discretize_series(&fast, 10, SaxConfig::new(2, 3), &multi);
+        assert!(nr.is_empty());
+        assert_eq!(nr.end_offset, 0);
+    }
+
+    #[test]
+    fn token_count_never_exceeds_window_count() {
+        let data = wave(256);
+        let fast = FastSax::new(&data);
+        let multi = MultiResBreakpoints::new(6);
+        let nr = discretize_series(&fast, 32, SaxConfig::new(4, 4), &multi);
+        assert!(nr.len() <= window_count(256, 32));
+        assert!(!nr.is_empty());
+    }
+
+    #[test]
+    fn offsets_strictly_increase() {
+        let data = wave(400);
+        let fast = FastSax::new(&data);
+        let multi = MultiResBreakpoints::new(8);
+        let nr = discretize_series(&fast, 25, SaxConfig::new(5, 5), &multi);
+        for pair in nr.tokens.windows(2) {
+            assert!(pair[0].offset < pair[1].offset);
+        }
+    }
+
+    #[test]
+    fn word_multires_equals_word_single() {
+        let data = wave(200);
+        let fast = FastSax::new(&data);
+        let multi = MultiResBreakpoints::new(12);
+        let mut scratch = Vec::new();
+        for a in 2..=12 {
+            let table = BreakpointTable::new(a);
+            for start in [0usize, 50, 150] {
+                let w1 = fast.word(start, 40, 8, &table);
+                let w2 = fast.word_multires(start, 40, SaxConfig::new(8, a), &multi, &mut scratch);
+                assert_eq!(w1, w2, "a={a} start={start}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window out of bounds")]
+    fn out_of_bounds_window_panics() {
+        let data = wave(50);
+        let fast = FastSax::new(&data);
+        let mut out = vec![0.0; 4];
+        fast.paa_znorm_into(45, 10, &mut out);
+    }
+}

@@ -1,0 +1,42 @@
+//! # egi-sax — Symbolic Aggregate approXimation
+//!
+//! Discretization layer of the grammar-induction pipeline (paper Section 4
+//! and Section 6.2):
+//!
+//! * [`mod@paa`] — Piecewise Aggregate Approximation of (z-normalized)
+//!   subsequences, plus the prefix-sum **FastPAA** of Algorithm 2.
+//! * [`breakpoints`] — Gaussian equiprobable breakpoint tables for any
+//!   alphabet size, computed from the inverse normal CDF.
+//! * [`word`] — [`SaxWord`] and single-subsequence discretization.
+//! * [`discretize`] — whole-series discretization via a sliding window.
+//! * [`numerosity`] — numerosity reduction: collapse runs of identical
+//!   consecutive words, keeping the first offset (Section 4.2).
+//! * [`mindist`] — the classic SAX lower-bounding distance (MINDIST),
+//!   for downstream similarity-search users of this crate.
+//! * [`multires`] — the multi-resolution symbol matrix of Section 6.2:
+//!   one binary search per PAA coefficient yields its symbol under *every*
+//!   alphabet size `2..=amax` at once.
+//!
+//! The naive and fast paths are intentionally both kept public: the naive
+//! implementations are the executable specification, the fast ones are what
+//! the detectors run, and the test suites (unit + property) pin them to
+//! agree exactly.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod breakpoints;
+pub mod discretize;
+pub mod mindist;
+pub mod multires;
+pub mod numerosity;
+pub mod paa;
+pub mod word;
+
+pub use breakpoints::BreakpointTable;
+pub use discretize::{discretize_series, discretize_series_naive, FastSax};
+pub use mindist::MindistTable;
+pub use multires::{MultiResBreakpoints, SymbolColumn};
+pub use numerosity::{numerosity_reduce, NumerosityReduced, Token};
+pub use paa::{paa, paa_into};
+pub use word::{sax_word, SaxConfig, SaxWord};

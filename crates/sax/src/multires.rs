@@ -1,0 +1,215 @@
+//! Multi-resolution SAX symbol lookup (paper Section 6.2.2, Figure 6).
+//!
+//! The ensemble repeatedly discretizes the same subsequence under many
+//! alphabet sizes. Rather than one breakpoint search per alphabet, we merge
+//! the breakpoints of *all* alphabet sizes `2..=amax` into one sorted list.
+//! The merged cuts partition the real line into intervals; for each
+//! interval we precompute the symbol the interval maps to under every
+//! alphabet size (a [`SymbolColumn`] — one column of the paper's "symbol
+//! matrix"). A single binary search (`O(log Σ(a−1)) = O(log amax²) =
+//! O(2 log amax)`, matching the paper's bound) then yields the symbol at
+//! every resolution simultaneously.
+
+use crate::breakpoints::{BreakpointTable, MAX_ALPHABET, MIN_ALPHABET};
+
+/// Symbols of one merged-breakpoint interval under every alphabet size.
+///
+/// `symbols[a - 2]` is the symbol index assigned by alphabet size `a`
+/// (the `i`-th entry of a column corresponds to `a = i + 2`, exactly the
+/// layout of Figure 6's symbol sequences).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolColumn {
+    /// Per-alphabet symbol indices, for `a = 2..=amax`.
+    pub symbols: Vec<u8>,
+}
+
+impl SymbolColumn {
+    /// Symbol under alphabet size `a`.
+    #[inline]
+    pub fn symbol(&self, a: usize) -> u8 {
+        self.symbols[a - MIN_ALPHABET]
+    }
+}
+
+/// Merged breakpoints of all alphabet sizes `2..=amax` plus the
+/// precomputed symbol matrix.
+#[derive(Debug, Clone)]
+pub struct MultiResBreakpoints {
+    amax: usize,
+    /// Distinct breakpoints, ascending.
+    merged: Vec<f64>,
+    /// `merged.len() + 1` columns; column `i` covers
+    /// `[merged[i-1], merged[i])` with the usual ±∞ ends.
+    columns: Vec<SymbolColumn>,
+}
+
+impl MultiResBreakpoints {
+    /// Builds the merged table for alphabet sizes `2..=amax`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `MIN_ALPHABET ≤ amax ≤ MAX_ALPHABET`.
+    pub fn new(amax: usize) -> Self {
+        assert!(
+            (MIN_ALPHABET..=MAX_ALPHABET).contains(&amax),
+            "amax {amax} outside [{MIN_ALPHABET}, {MAX_ALPHABET}]"
+        );
+        let tables: Vec<BreakpointTable> =
+            (MIN_ALPHABET..=amax).map(BreakpointTable::new).collect();
+
+        let mut merged: Vec<f64> = tables.iter().flat_map(|t| t.cuts().iter().copied()).collect();
+        merged.sort_by(|x, y| x.partial_cmp(y).expect("breakpoints are finite"));
+        merged.dedup_by(|x, y| (*x - *y).abs() < 1e-12);
+
+        // Representative value inside each interval → symbol per alphabet.
+        let columns = (0..=merged.len())
+            .map(|i| {
+                let rep = interval_representative(&merged, i);
+                SymbolColumn {
+                    symbols: tables.iter().map(|t| t.symbol(rep)).collect(),
+                }
+            })
+            .collect();
+
+        Self { amax, merged, columns }
+    }
+
+    /// Largest alphabet size covered.
+    pub fn amax(&self) -> usize {
+        self.amax
+    }
+
+    /// Number of merged intervals (`distinct breakpoints + 1`).
+    pub fn interval_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The distinct merged breakpoints.
+    pub fn merged_cuts(&self) -> &[f64] {
+        &self.merged
+    }
+
+    /// Locates the interval containing `value` and returns its column.
+    ///
+    /// One binary search over the merged cuts — this is the whole point of
+    /// the structure.
+    #[inline]
+    pub fn column(&self, value: f64) -> &SymbolColumn {
+        let idx = self.merged.partition_point(|&c| c <= value);
+        &self.columns[idx]
+    }
+
+    /// Symbol of `value` under alphabet size `a` (`2 ≤ a ≤ amax`).
+    #[inline]
+    pub fn symbol(&self, value: f64, a: usize) -> u8 {
+        debug_assert!((MIN_ALPHABET..=self.amax).contains(&a));
+        self.column(value).symbol(a)
+    }
+}
+
+/// A point strictly inside interval `i` of the partition induced by `cuts`.
+fn interval_representative(cuts: &[f64], i: usize) -> f64 {
+    if cuts.is_empty() {
+        return 0.0;
+    }
+    if i == 0 {
+        cuts[0] - 1.0
+    } else if i == cuts.len() {
+        cuts[cuts.len() - 1] + 1.0
+    } else {
+        // Midpoint; adjacent cuts are distinct after dedup. If they are
+        // pathologically close, nudge toward the lower bound, which is the
+        // closed end of the interval.
+        let lo = cuts[i - 1];
+        let hi = cuts[i];
+        let mid = 0.5 * (lo + hi);
+        if mid > lo {
+            mid
+        } else {
+            lo
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure6_interval_count() {
+        // a from 2 to 4: cuts {0} ∪ {±0.43} ∪ {−0.67, 0, 0.67} → 6 distinct
+        // breakpoints? No: {0, −0.4307, 0.4307, −0.6745, 0, 0.6745} → 5
+        // distinct values → 6 intervals, matching Figure 6.
+        let m = MultiResBreakpoints::new(4);
+        assert_eq!(m.merged_cuts().len(), 5);
+        assert_eq!(m.interval_count(), 6);
+    }
+
+    #[test]
+    fn figure6_symbol_sequences() {
+        let m = MultiResBreakpoints::new(4);
+        // PAA value −1.0 lies in (−∞, −0.6745): column "aaa" (a per res).
+        assert_eq!(m.column(-1.0).symbols, vec![0, 0, 0]);
+        // PAA value −0.2 lies in (−0.43, 0]: a=2 → 'a', a=3 → 'b', a=4 → 'b'
+        // (paper's yellow dot example "abb").
+        assert_eq!(m.column(-0.2).symbols, vec![0, 1, 1]);
+        // PAA value 1.0 lies in (0.6745, ∞): a=2 → 'b', a=3 → 'c', a=4 → 'd'
+        // ("bcd" in the paper).
+        assert_eq!(m.column(1.0).symbols, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn agrees_with_single_resolution_tables_everywhere() {
+        let amax = 12;
+        let m = MultiResBreakpoints::new(amax);
+        let tables: Vec<BreakpointTable> = (2..=amax).map(BreakpointTable::new).collect();
+        for i in -500..=500 {
+            let v = i as f64 / 100.0;
+            for t in &tables {
+                assert_eq!(
+                    m.symbol(v, t.alphabet()),
+                    t.symbol(v),
+                    "disagreement at v={v} a={}",
+                    t.alphabet()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_exactly_on_breakpoints() {
+        // Boundary values are where merged-table bugs live.
+        let amax = 10;
+        let m = MultiResBreakpoints::new(amax);
+        for a in 2..=amax {
+            let t = BreakpointTable::new(a);
+            for &cut in t.cuts() {
+                assert_eq!(m.symbol(cut, a), t.symbol(cut), "on-cut v={cut} a={a}");
+                let below = cut - 1e-9;
+                assert_eq!(m.symbol(below, a), t.symbol(below), "below-cut v={below} a={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn amax_two_has_single_cut() {
+        let m = MultiResBreakpoints::new(2);
+        assert_eq!(m.merged_cuts().len(), 1);
+        assert_eq!(m.symbol(-0.5, 2), 0);
+        assert_eq!(m.symbol(0.5, 2), 1);
+    }
+
+    #[test]
+    fn merged_cuts_sorted_strictly() {
+        let m = MultiResBreakpoints::new(20);
+        for w in m.merged_cuts().windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "amax")]
+    fn rejects_amax_one() {
+        MultiResBreakpoints::new(1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Piecewise Aggregate Approximation.
+//!
+//! PAA reduces a length-`n` subsequence to `w` coefficients, each the mean
+//! of one segment (paper Section 4.1). When `w ∤ n` we use the standard
+//! integer-boundary convention: segment `i` covers samples
+//! `[⌊i·n/w⌋, ⌊(i+1)·n/w⌋)`, so segment lengths differ by at most one. The
+//! prefix-sum fast path ([`crate::discretize::FastSax`]) uses the *same*
+//! boundaries, which is what lets the equivalence tests demand exact
+//! agreement rather than approximate.
+
+/// Segment boundary of the `i`-th PAA segment for a window of `n` samples
+/// split into `w` segments.
+#[inline]
+pub(crate) fn segment_bound(i: usize, n: usize, w: usize) -> usize {
+    // i <= w, so i * n fits comfortably in u64/usize for realistic sizes.
+    i * n / w
+}
+
+/// Computes the PAA coefficients of `sub` into a fresh vector.
+///
+/// The input is used as-is; z-normalize beforehand if offset/amplitude
+/// invariance is wanted (the SAX pipeline does).
+///
+/// # Panics
+///
+/// Panics if `w == 0` or `w > sub.len()`.
+pub fn paa(sub: &[f64], w: usize) -> Vec<f64> {
+    let mut out = vec![0.0; w];
+    paa_into(sub, &mut out);
+    out
+}
+
+/// Computes PAA coefficients of `sub` into `out` (`out.len()` = `w`).
+///
+/// # Panics
+///
+/// Panics if `out.is_empty()` or `out.len() > sub.len()`.
+pub fn paa_into(sub: &[f64], out: &mut [f64]) {
+    let n = sub.len();
+    let w = out.len();
+    assert!(w > 0, "PAA size must be positive");
+    assert!(w <= n, "PAA size {w} exceeds subsequence length {n}");
+    for (i, coeff) in out.iter_mut().enumerate() {
+        let s = segment_bound(i, n, w);
+        let e = segment_bound(i + 1, n, w);
+        let sum: f64 = sub[s..e].iter().sum();
+        *coeff = sum / (e - s) as f64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        let sub = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
+        assert_eq!(paa(&sub, 3), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn w_equals_n_is_identity() {
+        let sub = [4.0, -1.0, 0.5];
+        assert_eq!(paa(&sub, 3), sub.to_vec());
+    }
+
+    #[test]
+    fn w_one_is_global_mean() {
+        let sub = [2.0, 4.0, 6.0, 8.0];
+        assert_eq!(paa(&sub, 1), vec![5.0]);
+    }
+
+    #[test]
+    fn uneven_division_covers_everything() {
+        // n = 7, w = 3 → boundaries 0,2,4,7: segments of 2,2,3 samples.
+        let sub = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 3.0];
+        let got = paa(&sub, 3);
+        assert_eq!(got, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn segment_bounds_partition() {
+        for n in 1..40usize {
+            for w in 1..=n {
+                let mut total = 0;
+                for i in 0..w {
+                    let s = segment_bound(i, n, w);
+                    let e = segment_bound(i + 1, n, w);
+                    assert!(e > s, "empty segment n={n} w={w} i={i}");
+                    total += e - s;
+                }
+                assert_eq!(total, n, "segments don't partition n={n} w={w}");
+                assert_eq!(segment_bound(w, n, w), n);
+            }
+        }
+    }
+
+    #[test]
+    fn paa_preserves_mean() {
+        // Weighted mean of PAA coefficients equals the subsequence mean.
+        let sub: Vec<f64> = (0..17).map(|i| (i as f64).sin() * 2.0 + 0.3).collect();
+        let w = 5;
+        let coeffs = paa(&sub, w);
+        let mut weighted = 0.0;
+        for (i, &c) in coeffs.iter().enumerate() {
+            let len = segment_bound(i + 1, 17, w) - segment_bound(i, 17, w);
+            weighted += c * len as f64;
+        }
+        let direct: f64 = sub.iter().sum();
+        assert!((weighted - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "PAA size must be positive")]
+    fn zero_w_panics() {
+        paa(&[1.0, 2.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds subsequence length")]
+    fn oversized_w_panics() {
+        paa(&[1.0, 2.0], 3);
+    }
+}

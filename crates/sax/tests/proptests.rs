@@ -1,0 +1,115 @@
+//! Property-based tests for the SAX layer.
+//!
+//! These pin the invariants the detectors rely on: the fast prefix-sum path
+//! matches the naive specification, numerosity reduction is lossless about
+//! run structure, and symbol assignment is consistent across resolutions.
+
+use egi_sax::{
+    discretize_series, discretize_series_naive, numerosity_reduce, BreakpointTable, FastSax,
+    MultiResBreakpoints, SaxConfig, SaxWord,
+};
+use proptest::prelude::*;
+
+fn series_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3f64..1e3, 8..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FastPAA coefficients equal naive z-normalize+PAA coefficients.
+    #[test]
+    fn fast_paa_matches_naive(data in series_strategy(200), w in 1usize..12, n in 8usize..64) {
+        prop_assume!(n <= data.len());
+        prop_assume!(w <= n);
+        let fast = FastSax::new(&data);
+        let mut out = vec![0.0; w];
+        for start in [0, (data.len() - n) / 2, data.len() - n] {
+            fast.paa_znorm_into(start, n, &mut out);
+            let mut z = data[start..start + n].to_vec();
+            egi_tskit::stats::znormalize(&mut z);
+            let naive = egi_sax::paa(&z, w);
+            for (f, nv) in out.iter().zip(&naive) {
+                prop_assert!((f - nv).abs() < 1e-6, "start {} coeff {} vs {}", start, f, nv);
+            }
+        }
+    }
+
+    /// Whole-series fast discretization equals the naive specification.
+    ///
+    /// Words can only differ if a coefficient lands within float error of a
+    /// breakpoint; with continuous random data this has probability ~0, and
+    /// any persistent failure indicates a real boundary-convention bug.
+    #[test]
+    fn fast_discretization_matches_naive(
+        data in series_strategy(150),
+        w in 2usize..8,
+        a in 2usize..10,
+        n in 10usize..40,
+    ) {
+        prop_assume!(n <= data.len());
+        prop_assume!(w <= n);
+        let multi = MultiResBreakpoints::new(10);
+        let fast = FastSax::new(&data);
+        let cfg = SaxConfig::new(w, a);
+        let got = discretize_series(&fast, n, cfg, &multi);
+        let expected = discretize_series_naive(&data, n, cfg);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Multi-resolution symbol lookup agrees with each single table.
+    #[test]
+    fn multires_symbols_agree(v in -5.0f64..5.0, amax in 2usize..21) {
+        let multi = MultiResBreakpoints::new(amax);
+        for a in 2..=amax {
+            let table = BreakpointTable::new(a);
+            prop_assert_eq!(multi.symbol(v, a), table.symbol(v));
+        }
+    }
+
+    /// Symbols from a finer alphabet refine (never contradict) the coarse
+    /// ordering: if value x < y then symbol(x) <= symbol(y) for every a.
+    #[test]
+    fn symbols_are_monotone(mut x in -4.0f64..4.0, mut y in -4.0f64..4.0, a in 2usize..15) {
+        if x > y {
+            std::mem::swap(&mut x, &mut y);
+        }
+        let table = BreakpointTable::new(a);
+        prop_assert!(table.symbol(x) <= table.symbol(y));
+    }
+
+    /// Numerosity reduction: reconstructing the full sequence from tokens
+    /// and run ranges reproduces the input exactly (the paper's claim that
+    /// `S_NR` retains all information).
+    #[test]
+    fn numerosity_reduction_is_lossless(symbols in prop::collection::vec(0u8..4, 1..80)) {
+        let words: Vec<SaxWord> = symbols.iter().map(|&s| SaxWord(vec![s])).collect();
+        let nr = numerosity_reduce(words.clone(), 4);
+        let mut rebuilt = Vec::with_capacity(words.len());
+        for i in 0..nr.len() {
+            let (s, e) = nr.run_range(i);
+            for _ in s..e {
+                rebuilt.push(nr.tokens[i].word.clone());
+            }
+        }
+        prop_assert_eq!(rebuilt, words);
+    }
+
+    /// PAA of a constant-shifted/scaled series yields the same SAX word
+    /// (offset & amplitude invariance through z-normalization).
+    #[test]
+    fn sax_word_invariance(
+        data in prop::collection::vec(-10.0f64..10.0, 16..64),
+        scale in 0.5f64..20.0,
+        offset in -100.0f64..100.0,
+    ) {
+        // Skip near-flat windows where z-normalization degenerates.
+        prop_assume!(egi_tskit::stats::stddev(&data) > 1e-3);
+        let transformed: Vec<f64> = data.iter().map(|v| v * scale + offset).collect();
+        let cfg = SaxConfig::new(4, 5);
+        let table = BreakpointTable::new(5);
+        let w1 = egi_sax::sax_word(&data, cfg, &table);
+        let w2 = egi_sax::sax_word(&transformed, cfg, &table);
+        prop_assert_eq!(w1, w2);
+    }
+}

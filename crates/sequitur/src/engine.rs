@@ -1,0 +1,626 @@
+//! The Sequitur engine: slab-allocated doubly-linked symbol lists, a digram
+//! hash table, and the two constraint-maintenance operations (digram
+//! uniqueness, rule utility).
+//!
+//! The structure follows Nevill-Manning's reference `sequitur.cc` closely —
+//! including the subtle pieces: guard nodes per rule, digram bookkeeping
+//! inside `join`, the overlapping-digram ("aaa") repair, and inline
+//! expansion of underused rules. One deviation: every rule keeps an
+//! intrusive list of its occurrence nodes, so an underused rule's remaining
+//! occurrence is found in O(1) wherever it lives (the reference
+//! implementation only inspects the first body symbol of the rule involved
+//! in the current match, which can leave a once-used rule behind in rare
+//! interleavings).
+
+use rustc_hash::FxHashMap;
+
+use crate::grammar::{Grammar, GrammarRule, Symbol};
+
+/// Sentinel "null" node index.
+const NIL: u32 = u32::MAX;
+
+/// Internal symbol: terminal token or rule reference (engine rule id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Sym {
+    T(u32),
+    R(u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Kind {
+    /// Guard node delimiting the circular body list of `rule`.
+    Guard { rule: u32 },
+    /// Ordinary symbol node.
+    Sym(Sym),
+    /// On the free list.
+    Free,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    kind: Kind,
+    prev: u32,
+    next: u32,
+    /// Intrusive per-rule occurrence list (only for `Sym(R(_))` nodes).
+    occ_prev: u32,
+    occ_next: u32,
+}
+
+impl Node {
+    fn blank(kind: Kind) -> Self {
+        Node {
+            kind,
+            prev: NIL,
+            next: NIL,
+            occ_prev: NIL,
+            occ_next: NIL,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RuleRec {
+    /// Guard node id; `NIL` once the rule has been expanded away.
+    guard: u32,
+    /// Head of the occurrence list.
+    occ_head: u32,
+    /// Number of occurrence nodes (reference count).
+    uses: u32,
+}
+
+/// Incremental Sequitur grammar builder.
+///
+/// Feed tokens with [`Sequitur::push`]; extract the final grammar with
+/// [`Sequitur::into_grammar`]. Time is amortized O(1) per token.
+#[derive(Debug)]
+pub struct Sequitur {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    rules: Vec<RuleRec>,
+    digrams: FxHashMap<(Sym, Sym), u32>,
+    /// Rules whose use count dropped to one; drained after each match.
+    underused: Vec<u32>,
+    /// Number of tokens pushed so far.
+    token_count: usize,
+}
+
+impl Default for Sequitur {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sequitur {
+    /// Creates an empty grammar (rule `R0` with an empty body).
+    pub fn new() -> Self {
+        let mut s = Sequitur {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            rules: Vec::new(),
+            digrams: FxHashMap::default(),
+            underused: Vec::new(),
+            token_count: 0,
+        };
+        s.new_rule(); // rule 0 = S
+        s
+    }
+
+    /// Number of tokens consumed so far.
+    pub fn token_count(&self) -> usize {
+        self.token_count
+    }
+
+    // ------------------------------------------------------------------
+    // Slab plumbing
+    // ------------------------------------------------------------------
+
+    fn alloc(&mut self, kind: Kind) -> u32 {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id as usize] = Node::blank(kind);
+            id
+        } else {
+            let id = self.nodes.len() as u32;
+            assert!(id < NIL, "sequitur node arena exhausted");
+            self.nodes.push(Node::blank(kind));
+            id
+        }
+    }
+
+    fn release(&mut self, i: u32) {
+        self.nodes[i as usize].kind = Kind::Free;
+        self.free.push(i);
+    }
+
+    #[inline]
+    fn next(&self, i: u32) -> u32 {
+        self.nodes[i as usize].next
+    }
+
+    #[inline]
+    fn prev(&self, i: u32) -> u32 {
+        self.nodes[i as usize].prev
+    }
+
+    #[inline]
+    fn is_guard(&self, i: u32) -> bool {
+        matches!(self.nodes[i as usize].kind, Kind::Guard { .. })
+    }
+
+    /// Symbol of node `i`, or `None` for guards.
+    #[inline]
+    fn sym(&self, i: u32) -> Option<Sym> {
+        match self.nodes[i as usize].kind {
+            Kind::Sym(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rule and occurrence bookkeeping
+    // ------------------------------------------------------------------
+
+    fn new_rule(&mut self) -> u32 {
+        let rule = self.rules.len() as u32;
+        let guard = self.alloc(Kind::Guard { rule });
+        self.nodes[guard as usize].prev = guard;
+        self.nodes[guard as usize].next = guard;
+        self.rules.push(RuleRec {
+            guard,
+            occ_head: NIL,
+            uses: 0,
+        });
+        rule
+    }
+
+    /// Creates an occurrence node for `sym`, registering rule usage.
+    fn make_sym_node(&mut self, sym: Sym) -> u32 {
+        let n = self.alloc(Kind::Sym(sym));
+        if let Sym::R(r) = sym {
+            let head = self.rules[r as usize].occ_head;
+            self.nodes[n as usize].occ_next = head;
+            if head != NIL {
+                self.nodes[head as usize].occ_prev = n;
+            }
+            self.rules[r as usize].occ_head = n;
+            self.rules[r as usize].uses += 1;
+        }
+        n
+    }
+
+    /// Unregisters a rule occurrence (node about to be destroyed).
+    fn deuse(&mut self, n: u32, r: u32) {
+        let (op, on) = {
+            let nd = &self.nodes[n as usize];
+            (nd.occ_prev, nd.occ_next)
+        };
+        if op != NIL {
+            self.nodes[op as usize].occ_next = on;
+        } else {
+            self.rules[r as usize].occ_head = on;
+        }
+        if on != NIL {
+            self.nodes[on as usize].occ_prev = op;
+        }
+        let rec = &mut self.rules[r as usize];
+        rec.uses -= 1;
+        if rec.uses == 1 {
+            self.underused.push(r);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Digram table
+    // ------------------------------------------------------------------
+
+    /// Key of the digram starting at `i`, if both members are symbols.
+    #[inline]
+    fn digram_key(&self, i: u32) -> Option<(Sym, Sym)> {
+        let a = self.sym(i)?;
+        let b = self.sym(self.next(i))?;
+        Some((a, b))
+    }
+
+    /// Removes the table entry for the digram starting at `i`, but only if
+    /// the table actually points at `i`.
+    fn delete_digram(&mut self, i: u32) {
+        if let Some(key) = self.digram_key(i) {
+            if self.digrams.get(&key) == Some(&i) {
+                self.digrams.remove(&key);
+            }
+        }
+    }
+
+    /// Links `left → right`, maintaining digram-table consistency. Ports
+    /// the reference `join`, including the same-symbol-triple repair that
+    /// keeps runs like `aaa` from losing their table entries.
+    fn join(&mut self, left: u32, right: u32) {
+        if self.nodes[left as usize].next != NIL {
+            self.delete_digram(left);
+
+            // Triple repair: if `right` sits inside a run of equal symbols,
+            // re-register the digram starting at `right`.
+            {
+                let rp = self.prev(right);
+                let rn = self.next(right);
+                if rp != NIL && rn != NIL {
+                    if let (Some(v), Some(vp), Some(vn)) =
+                        (self.sym(right), self.sym(rp), self.sym(rn))
+                    {
+                        if v == vp && v == vn {
+                            self.digrams.insert((v, v), right);
+                        }
+                    }
+                }
+            }
+            // Symmetric repair around `left`.
+            {
+                let lp = self.prev(left);
+                let ln = self.next(left);
+                if lp != NIL && ln != NIL {
+                    if let (Some(v), Some(vp), Some(vn)) =
+                        (self.sym(left), self.sym(lp), self.sym(ln))
+                    {
+                        if v == vp && v == vn {
+                            self.digrams.insert((v, v), lp);
+                        }
+                    }
+                }
+            }
+        }
+        self.nodes[left as usize].next = right;
+        self.nodes[right as usize].prev = left;
+    }
+
+    fn insert_after(&mut self, x: u32, y: u32) {
+        let xn = self.next(x);
+        self.join(y, xn);
+        self.join(x, y);
+    }
+
+    /// Destroys node `i`: splices it out, cleans its digram entry, and
+    /// de-registers a rule occurrence if applicable.
+    fn delete_node(&mut self, i: u32) {
+        let p = self.prev(i);
+        let n = self.next(i);
+        self.join(p, n);
+        if let Some(sym) = self.sym(i) {
+            self.delete_digram(i);
+            if let Sym::R(r) = sym {
+                self.deuse(i, r);
+            }
+        }
+        self.release(i);
+    }
+
+    // ------------------------------------------------------------------
+    // Core algorithm
+    // ------------------------------------------------------------------
+
+    /// Appends one terminal token and restores the grammar constraints.
+    pub fn push(&mut self, token: u32) {
+        self.token_count += 1;
+        let guard = self.rules[0].guard;
+        let last = self.prev(guard);
+        let n = self.make_sym_node(Sym::T(token));
+        self.insert_after(last, n);
+        if last != guard {
+            self.check(last);
+        }
+        self.drain_underused();
+    }
+
+    /// Examines the digram starting at `i`. Returns `true` when the digram
+    /// already existed in the table (whether or not a substitution
+    /// happened).
+    fn check(&mut self, i: u32) -> bool {
+        if self.is_guard(i) || self.is_guard(self.next(i)) {
+            return false;
+        }
+        let key = match self.digram_key(i) {
+            Some(k) => k,
+            None => return false,
+        };
+        match self.digrams.get(&key) {
+            None => {
+                self.digrams.insert(key, i);
+                false
+            }
+            Some(&m) => {
+                debug_assert_ne!(m, i, "digram table points at a just-formed digram");
+                // Overlapping occurrence (e.g. `aaa`): do nothing.
+                if self.next(m) != i {
+                    self.process_match(i, m);
+                }
+                true
+            }
+        }
+    }
+
+    /// Handles a repeated digram: `ss` is the new occurrence, `m` the one
+    /// recorded in the table.
+    fn process_match(&mut self, ss: u32, m: u32) {
+        let r;
+        if self.is_guard(self.prev(m)) && self.is_guard(self.next(self.next(m))) {
+            // `m` is the entire body of an existing rule: reuse it.
+            r = match self.nodes[self.prev(m) as usize].kind {
+                Kind::Guard { rule } => rule,
+                _ => unreachable!("prev(m) tested as guard"),
+            };
+            self.substitute(ss, r);
+        } else {
+            // Create a new rule from the digram's symbols.
+            let s1 = self.sym(ss).expect("digram member is a symbol");
+            let s2 = self.sym(self.next(ss)).expect("digram member is a symbol");
+            r = self.new_rule();
+            let guard = self.rules[r as usize].guard;
+            let c1 = self.make_sym_node(s1);
+            self.insert_after(guard, c1);
+            let c2 = self.make_sym_node(s2);
+            self.insert_after(c1, c2);
+            self.substitute(m, r);
+            self.substitute(ss, r);
+            // The rule body is now the canonical location of this digram.
+            self.digrams.insert((s1, s2), c1);
+        }
+        self.drain_underused();
+    }
+
+    /// Replaces the digram starting at `i` with a reference to rule `r`.
+    fn substitute(&mut self, i: u32, r: u32) {
+        let q = self.prev(i);
+        let second = self.next(i);
+        self.delete_node(second);
+        self.delete_node(i);
+        let n = self.make_sym_node(Sym::R(r));
+        self.insert_after(q, n);
+        if !self.check(q) {
+            let qn = self.next(q);
+            self.check(qn);
+        }
+    }
+
+    /// Expands rules whose use count has dropped to one (rule utility).
+    fn drain_underused(&mut self) {
+        while let Some(r) = self.underused.pop() {
+            let rec = self.rules[r as usize];
+            if rec.guard == NIL || rec.uses != 1 {
+                continue; // already dead, or re-used since being queued
+            }
+            let occ = rec.occ_head;
+            debug_assert_ne!(occ, NIL, "uses == 1 but no occurrence recorded");
+            self.expand(occ, r);
+        }
+    }
+
+    /// Inlines rule `r`'s body at its sole remaining occurrence `n` and
+    /// deletes the rule.
+    fn expand(&mut self, n: u32, r: u32) {
+        let left = self.prev(n);
+        let right = self.next(n);
+        let guard = self.rules[r as usize].guard;
+        let first = self.next(guard);
+        let last = self.prev(guard);
+        debug_assert!(first != guard, "expanding an empty rule");
+
+        // The digram (n, right) is about to disappear.
+        self.delete_digram(n);
+        // (left, n) is cleaned inside join(left, first).
+        self.join(left, first);
+        self.join(last, right);
+
+        // Register the digram that now starts at `last`. The reference
+        // implementation overwrites unconditionally; a pre-existing entry
+        // elsewhere only costs a missed match, never incorrectness.
+        if let Some(key) = self.digram_key(last) {
+            self.digrams.insert(key, last);
+        }
+
+        // Kill the rule: the occurrence node and guard are recycled; the
+        // rule record is tombstoned.
+        self.rules[r as usize].guard = NIL;
+        self.rules[r as usize].occ_head = NIL;
+        self.rules[r as usize].uses = 0;
+        self.release(n);
+        self.release(guard);
+    }
+
+    // ------------------------------------------------------------------
+    // Extraction
+    // ------------------------------------------------------------------
+
+    /// Finalizes induction and converts the internal state into an
+    /// immutable [`Grammar`] with densely renumbered rules (dead rules
+    /// dropped, `R0` first).
+    pub fn into_grammar(self) -> Grammar {
+        // Dense renumbering of live rules.
+        let mut remap: Vec<u32> = vec![u32::MAX; self.rules.len()];
+        let mut live = 0u32;
+        for (id, rec) in self.rules.iter().enumerate() {
+            if rec.guard != NIL {
+                remap[id] = live;
+                live += 1;
+            }
+        }
+
+        let mut rules = Vec::with_capacity(live as usize);
+        for (id, rec) in self.rules.iter().enumerate() {
+            if rec.guard == NIL {
+                continue;
+            }
+            let mut body = Vec::new();
+            let mut cur = self.next(rec.guard);
+            while cur != rec.guard {
+                match self.sym(cur).expect("rule bodies contain only symbols") {
+                    Sym::T(t) => body.push(Symbol::Terminal(t)),
+                    Sym::R(r) => {
+                        let dense = remap[r as usize];
+                        debug_assert_ne!(dense, u32::MAX, "reference to dead rule {r}");
+                        body.push(Symbol::Rule(dense));
+                    }
+                }
+                cur = self.next(cur);
+            }
+            rules.push(GrammarRule {
+                body,
+                uses: if id == 0 { 0 } else { rec.uses as usize },
+                expansion_len: 0, // filled by Grammar::finalize
+            });
+        }
+        Grammar::finalize(rules, self.token_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::induce;
+
+    /// Paper Table 2: SNR = ab,bc,aa,cc,ca,ab,bc,aa with interning
+    /// ab=0, bc=1, aa=2, cc=3, ca=4 yields S → R,cc,ca,R ; R → ab,bc,aa.
+    #[test]
+    fn paper_table2_example() {
+        let g = induce([0u32, 1, 2, 3, 4, 0, 1, 2]);
+        assert_eq!(g.rule_count(), 2, "expected R0 plus exactly one rule");
+        let root = &g.rules[0];
+        assert_eq!(
+            root.body,
+            vec![
+                Symbol::Rule(1),
+                Symbol::Terminal(3),
+                Symbol::Terminal(4),
+                Symbol::Rule(1)
+            ]
+        );
+        let r1 = &g.rules[1];
+        assert_eq!(
+            r1.body,
+            vec![Symbol::Terminal(0), Symbol::Terminal(1), Symbol::Terminal(2)]
+        );
+        assert_eq!(r1.uses, 2);
+        assert_eq!(r1.expansion_len, 3);
+    }
+
+    /// Section 3.2 example: S = aa,bb,cc,xx,aa,bb,cc → R1 = aa,bb,cc and
+    /// the incompressible xx stays a terminal in R0.
+    #[test]
+    fn paper_section32_example() {
+        // aa=0, bb=1, cc=2, xx=3.
+        let g = induce([0u32, 1, 2, 3, 0, 1, 2]);
+        assert_eq!(g.rule_count(), 2);
+        assert_eq!(
+            g.rules[0].body,
+            vec![Symbol::Rule(1), Symbol::Terminal(3), Symbol::Rule(1)]
+        );
+        assert_eq!(
+            g.rules[1].body,
+            vec![Symbol::Terminal(0), Symbol::Terminal(1), Symbol::Terminal(2)]
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let g = induce(std::iter::empty());
+        assert_eq!(g.rule_count(), 1);
+        assert!(g.rules[0].body.is_empty());
+        assert_eq!(g.expand_root(), Vec::<u32>::new());
+
+        let g = induce([7u32]);
+        assert_eq!(g.rule_count(), 1);
+        assert_eq!(g.expand_root(), vec![7]);
+    }
+
+    #[test]
+    fn no_repeats_creates_no_rules() {
+        let g = induce(0u32..20);
+        assert_eq!(g.rule_count(), 1);
+        assert_eq!(g.expand_root(), (0u32..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn abab_forms_one_rule() {
+        let g = induce([0u32, 1, 0, 1]);
+        assert_eq!(g.rule_count(), 2);
+        assert_eq!(g.rules[0].body, vec![Symbol::Rule(1), Symbol::Rule(1)]);
+        assert_eq!(g.expand_root(), vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn run_of_identical_tokens_is_handled() {
+        // The classic `aaaa...` stress: overlapping digrams must not
+        // corrupt the grammar.
+        for len in 2..40usize {
+            let input = vec![5u32; len];
+            let g = induce(input.clone());
+            assert_eq!(g.expand_root(), input, "run length {len}");
+            g.verify().unwrap_or_else(|e| panic!("len {len}: {e}"));
+        }
+    }
+
+    #[test]
+    fn nested_repetition_compresses_hierarchically() {
+        // (ab)^8: expect nested rules, root much shorter than input.
+        let mut input = Vec::new();
+        for _ in 0..8 {
+            input.extend_from_slice(&[0u32, 1]);
+        }
+        let g = induce(input.clone());
+        assert_eq!(g.expand_root(), input);
+        assert!(g.rules[0].body.len() <= 4, "root body: {:?}", g.rules[0].body);
+        g.verify().unwrap();
+    }
+
+    #[test]
+    fn rule_reuse_branch_is_exercised() {
+        // abcdbc: digram bc repeats, rule created; then abcd again forces
+        // reuse of existing full-body rule.
+        let g = induce([0u32, 1, 2, 3, 1, 2, 0, 1, 2, 3, 1, 2]);
+        assert_eq!(
+            g.expand_root(),
+            vec![0, 1, 2, 3, 1, 2, 0, 1, 2, 3, 1, 2]
+        );
+        g.verify().unwrap();
+    }
+
+    #[test]
+    fn all_rules_used_at_least_twice() {
+        let input: Vec<u32> = (0..200).map(|i| (i % 7) as u32).collect();
+        let g = induce(input.clone());
+        g.verify().unwrap();
+        for (i, r) in g.rules.iter().enumerate().skip(1) {
+            assert!(r.uses >= 2, "rule {i} used {} times", r.uses);
+        }
+        assert_eq!(g.expand_root(), input);
+    }
+
+    #[test]
+    fn rule_bodies_have_at_least_two_symbols() {
+        let input: Vec<u32> = (0..500).map(|i| ((i * i) % 11) as u32).collect();
+        let g = induce(input);
+        for (i, r) in g.rules.iter().enumerate().skip(1) {
+            assert!(r.body.len() >= 2, "rule {i} body {:?}", r.body);
+        }
+    }
+
+    #[test]
+    fn token_count_tracks_pushes() {
+        let mut s = Sequitur::new();
+        for t in [1u32, 2, 1, 2, 3] {
+            s.push(t);
+        }
+        assert_eq!(s.token_count(), 5);
+    }
+
+    #[test]
+    fn compresses_repetitive_input_substantially() {
+        // 64 copies of a 4-token motif: grammar total size must be far
+        // below the 256-token input (compressibility = regularity).
+        let mut input = Vec::new();
+        for _ in 0..64 {
+            input.extend_from_slice(&[3u32, 1, 4, 1]);
+        }
+        let g = induce(input.clone());
+        assert_eq!(g.expand_root(), input);
+        let total: usize = g.rules.iter().map(|r| r.body.len()).sum();
+        assert!(total < 40, "grammar size {total} for 256-token repetitive input");
+    }
+}

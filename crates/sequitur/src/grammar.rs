@@ -1,0 +1,359 @@
+//! Immutable grammar produced by [`crate::Sequitur`], plus the occurrence
+//! enumeration consumed by the rule density curve.
+
+/// A grammar symbol: terminal token id or (dense) rule id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Symbol {
+    /// A terminal token (interned SAX word id in the anomaly pipeline).
+    Terminal(u32),
+    /// A reference to `Grammar::rules[id]`.
+    Rule(u32),
+}
+
+/// One grammar rule. `rules[0]` is the root `R0`/`S`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrammarRule {
+    /// Right-hand side of the rule.
+    pub body: Vec<Symbol>,
+    /// How many times the rule is referenced in other bodies
+    /// (0 for the root).
+    pub uses: usize,
+    /// Number of terminals the rule expands to.
+    pub expansion_len: usize,
+}
+
+/// A (transitive) occurrence of a rule in the token sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleOccurrence {
+    /// Dense rule id (never 0 — the root is not an occurrence).
+    pub rule: u32,
+    /// Token index where this occurrence starts.
+    pub start: usize,
+    /// Number of tokens covered (the rule's expansion length).
+    pub len: usize,
+}
+
+/// A context-free grammar in the Sequitur normal form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grammar {
+    /// All rules; index 0 is the root.
+    pub rules: Vec<GrammarRule>,
+    token_count: usize,
+}
+
+impl Grammar {
+    /// Internal constructor: computes expansion lengths bottom-up.
+    pub(crate) fn finalize(mut rules: Vec<GrammarRule>, token_count: usize) -> Self {
+        // Iterative memoized expansion-length computation (rule references
+        // can nest arbitrarily deep, so no recursion).
+        let n = rules.len();
+        let mut lens: Vec<Option<usize>> = vec![None; n];
+        for start in 0..n {
+            if lens[start].is_some() {
+                continue;
+            }
+            let mut stack = vec![start];
+            'outer: while let Some(&r) = stack.last() {
+                let mut total = 0usize;
+                for sym in &rules[r].body {
+                    match *sym {
+                        Symbol::Terminal(_) => total += 1,
+                        Symbol::Rule(q) => match lens[q as usize] {
+                            Some(l) => total += l,
+                            None => {
+                                stack.push(q as usize);
+                                continue 'outer;
+                            }
+                        },
+                    }
+                }
+                lens[r] = Some(total);
+                stack.pop();
+            }
+        }
+        for (r, len) in rules.iter_mut().zip(&lens) {
+            r.expansion_len = len.expect("all rules resolved");
+        }
+        Grammar { rules, token_count }
+    }
+
+    /// Number of rules including the root.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Number of tokens the grammar was induced from.
+    pub fn token_count(&self) -> usize {
+        self.token_count
+    }
+
+    /// Total grammar size: sum of all rule body lengths.
+    pub fn total_size(&self) -> usize {
+        self.rules.iter().map(|r| r.body.len()).sum()
+    }
+
+    /// Expands rule `id` to its terminal sequence.
+    pub fn expand_rule(&self, id: u32) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.rules[id as usize].expansion_len);
+        // Explicit stack of (rule, body position).
+        let mut stack: Vec<(u32, usize)> = vec![(id, 0)];
+        while let Some((r, pos)) = stack.pop() {
+            let body = &self.rules[r as usize].body;
+            if pos >= body.len() {
+                continue;
+            }
+            stack.push((r, pos + 1));
+            match body[pos] {
+                Symbol::Terminal(t) => out.push(t),
+                Symbol::Rule(q) => stack.push((q, 0)),
+            }
+        }
+        out
+    }
+
+    /// Reconstructs the original token sequence from the root rule.
+    pub fn expand_root(&self) -> Vec<u32> {
+        self.expand_rule(0)
+    }
+
+    /// Enumerates every transitive occurrence of every non-root rule, with
+    /// token-sequence positions.
+    ///
+    /// A rule nested inside another rule occurs once per occurrence of its
+    /// parent; this walk unrolls the derivation tree, which is exactly the
+    /// counting the rule density curve needs ("the number of grammar rules
+    /// that cover each point", paper Section 5.2). The output size is
+    /// bounded by the derivation tree, i.e. O(token count).
+    pub fn occurrences(&self) -> Vec<RuleOccurrence> {
+        let mut out = Vec::new();
+        // Stack frames: (rule, body position, absolute token start of the
+        // *remaining* body suffix).
+        let mut stack: Vec<(u32, usize, usize)> = vec![(0, 0, 0)];
+        while let Some((r, pos, at)) = stack.pop() {
+            let body = &self.rules[r as usize].body;
+            if pos >= body.len() {
+                continue;
+            }
+            match body[pos] {
+                Symbol::Terminal(_) => {
+                    stack.push((r, pos + 1, at + 1));
+                }
+                Symbol::Rule(q) => {
+                    let len = self.rules[q as usize].expansion_len;
+                    out.push(RuleOccurrence {
+                        rule: q,
+                        start: at,
+                        len,
+                    });
+                    stack.push((r, pos + 1, at + len));
+                    stack.push((q, 0, at));
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks the structural invariants the algorithm promises:
+    /// every non-root rule is used at least twice and has a body of at
+    /// least two symbols; all rule references are in range; the root
+    /// expands to `token_count` terminals.
+    pub fn verify(&self) -> Result<(), String> {
+        for (i, r) in self.rules.iter().enumerate() {
+            for sym in &r.body {
+                if let Symbol::Rule(q) = *sym {
+                    if q as usize >= self.rules.len() {
+                        return Err(format!("rule {i} references out-of-range rule {q}"));
+                    }
+                    if q == 0 {
+                        return Err(format!("rule {i} references the root"));
+                    }
+                }
+            }
+            if i > 0 {
+                if r.uses < 2 {
+                    return Err(format!("rule {i} used {} < 2 times", r.uses));
+                }
+                if r.body.len() < 2 {
+                    return Err(format!("rule {i} has body of {} symbols", r.body.len()));
+                }
+            }
+        }
+        let root_len = self.rules[0].expansion_len;
+        if root_len != self.token_count {
+            return Err(format!(
+                "root expands to {root_len} terminals but {} tokens were pushed",
+                self.token_count
+            ));
+        }
+        Ok(())
+    }
+
+    /// Renders the grammar in the paper's Table 1/2 layout, one rule per
+    /// line with its expanded terminal sequence alongside:
+    ///
+    /// ```text
+    /// R0 -> R1 t3 R1            | t0 t1 t2 t3 t0 t1 t2
+    /// R1 -> t0 t1 t2            | t0 t1 t2
+    /// ```
+    ///
+    /// `label` maps terminal ids to display strings (e.g. SAX letters);
+    /// pass `|t| format!("t{t}")` for raw ids.
+    pub fn render(&self, mut label: impl FnMut(u32) -> String) -> String {
+        let mut lines = Vec::with_capacity(self.rules.len());
+        let mut rendered_bodies = Vec::with_capacity(self.rules.len());
+        for (i, rule) in self.rules.iter().enumerate() {
+            let body: Vec<String> = rule
+                .body
+                .iter()
+                .map(|s| match *s {
+                    Symbol::Terminal(t) => label(t),
+                    Symbol::Rule(q) => format!("R{q}"),
+                })
+                .collect();
+            rendered_bodies.push((format!("R{i}"), body.join(" ")));
+        }
+        let width = rendered_bodies
+            .iter()
+            .map(|(_, b)| b.len())
+            .max()
+            .unwrap_or(0)
+            .min(60);
+        for (i, (head, body)) in rendered_bodies.iter().enumerate() {
+            let expansion: Vec<String> = self
+                .expand_rule(i as u32)
+                .into_iter()
+                .map(&mut label)
+                .collect();
+            lines.push(format!(
+                "{head} -> {body:<width$} | {}",
+                expansion.join(" "),
+                width = width
+            ));
+        }
+        lines.join("\n")
+    }
+}
+
+impl std::fmt::Display for Grammar {
+    /// Default rendering with `tN`-style terminal labels.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render(|t| format!("t{t}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::induce;
+
+    #[test]
+    fn expansion_lengths_are_consistent() {
+        let input: Vec<u32> = (0..300).map(|i| (i % 5) as u32).collect();
+        let g = induce(input.clone());
+        for (i, r) in g.rules.iter().enumerate() {
+            assert_eq!(
+                g.expand_rule(i as u32).len(),
+                r.expansion_len,
+                "rule {i} expansion length mismatch"
+            );
+        }
+        assert_eq!(g.rules[0].expansion_len, input.len());
+    }
+
+    #[test]
+    fn occurrences_cover_expected_positions() {
+        // ab cd ab cd: two rules expected at known positions, or nested.
+        let g = induce([0u32, 1, 2, 3, 0, 1, 2, 3]);
+        let occs = g.occurrences();
+        // Every occurrence must expand to the right slice of the input.
+        let input = [0u32, 1, 2, 3, 0, 1, 2, 3];
+        for occ in &occs {
+            let expansion = g.expand_rule(occ.rule);
+            assert_eq!(
+                &input[occ.start..occ.start + occ.len],
+                expansion.as_slice(),
+                "occurrence {occ:?}"
+            );
+        }
+        // The repeated half [0,1,2,3] must be covered by some occurrence
+        // starting at 0 and some at 4.
+        assert!(occs.iter().any(|o| o.start == 0));
+        assert!(occs.iter().any(|o| o.start == 4));
+    }
+
+    #[test]
+    fn occurrences_expand_correctly_on_nested_grammar() {
+        let mut input = Vec::new();
+        for _ in 0..16 {
+            input.extend_from_slice(&[1u32, 2, 1, 3]);
+        }
+        let g = induce(input.clone());
+        g.verify().unwrap();
+        for occ in g.occurrences() {
+            let expansion = g.expand_rule(occ.rule);
+            assert_eq!(&input[occ.start..occ.start + occ.len], expansion.as_slice());
+        }
+    }
+
+    #[test]
+    fn occurrence_count_matches_uses_transitively() {
+        // For a rule only referenced by the root, occurrence count == uses.
+        let g = induce([0u32, 1, 9, 0, 1, 8, 0, 1]);
+        g.verify().unwrap();
+        let occs = g.occurrences();
+        for (i, r) in g.rules.iter().enumerate().skip(1) {
+            let direct_in_root = g.rules[0]
+                .body
+                .iter()
+                .filter(|s| **s == Symbol::Rule(i as u32))
+                .count();
+            if direct_in_root == r.uses {
+                let occ_count = occs.iter().filter(|o| o.rule == i as u32).count();
+                assert_eq!(occ_count, r.uses, "rule {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn total_size_is_compression_measure() {
+        let repetitive = induce(std::iter::repeat_n([0u32, 1], 64).flatten());
+        let random: Vec<u32> = (0..128).collect();
+        let incompressible = induce(random);
+        assert!(repetitive.total_size() < incompressible.total_size() / 2);
+    }
+
+    #[test]
+    fn render_matches_paper_layout() {
+        // Section 3.2: aa,bb,cc,xx,aa,bb,cc with aa=0, bb=1, cc=2, xx=3.
+        let g = induce([0u32, 1, 2, 3, 0, 1, 2]);
+        let names = ["aa", "bb", "cc", "xx"];
+        let rendered = g.render(|t| names[t as usize].to_string());
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("R0 -> R1 xx R1"), "{}", lines[0]);
+        assert!(lines[0].ends_with("| aa bb cc xx aa bb cc"), "{}", lines[0]);
+        assert!(lines[1].starts_with("R1 -> aa bb cc"), "{}", lines[1]);
+        assert!(lines[1].ends_with("| aa bb cc"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn display_uses_default_labels() {
+        let g = induce([5u32, 6, 5, 6]);
+        let s = g.to_string();
+        assert!(s.contains("t5 t6"), "{s}");
+        assert!(s.contains("R1"), "{s}");
+    }
+
+    #[test]
+    fn verify_catches_bad_root_length() {
+        let g = Grammar::finalize(
+            vec![GrammarRule {
+                body: vec![Symbol::Terminal(1)],
+                uses: 0,
+                expansion_len: 0,
+            }],
+            5,
+        );
+        assert!(g.verify().is_err());
+    }
+}

@@ -1,0 +1,270 @@
+//! Evaluation corpus assembly (paper Section 7.1.1).
+//!
+//! The paper builds each test series by concatenating 20 randomly drawn
+//! "normal" instances and planting one randomly drawn "anomalous" instance
+//! at a random position between 40% and 80% of the series; 25 such series
+//! are generated per dataset.
+//!
+//! We plant at *instance boundaries* whose offset falls inside the 40–80%
+//! band. Splitting a normal instance mid-cycle would manufacture two
+//! artificial discontinuities at the insertion edges, handing every
+//! detector a trivially findable artifact that the real corpora do not
+//! contain; boundary insertion keeps the normal background intact while the
+//! planted position remains uniformly random over the allowed boundaries.
+
+use rand::Rng;
+
+use crate::gen::ucr::UcrFamily;
+use crate::series::TimeSeries;
+
+/// A generated test series with ground-truth anomaly annotation.
+#[derive(Debug, Clone)]
+pub struct LabeledSeries {
+    /// The full concatenated series.
+    pub series: TimeSeries,
+    /// Start offset of the planted anomalous instance.
+    pub gt_start: usize,
+    /// Length of the planted anomalous instance.
+    pub gt_len: usize,
+    /// Family the series was drawn from.
+    pub family: UcrFamily,
+}
+
+impl LabeledSeries {
+    /// Ground truth as a `(start, length)` interval.
+    pub fn ground_truth(&self) -> (usize, usize) {
+        (self.gt_start, self.gt_len)
+    }
+}
+
+/// Parameters of corpus generation.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusSpec {
+    /// Dataset family to draw instances from.
+    pub family: UcrFamily,
+    /// Number of normal instances concatenated per series (paper: 20).
+    pub normal_instances: usize,
+    /// Number of labeled series to generate (paper: 25).
+    pub series_count: usize,
+    /// Fractional band `[low, high]` of the series where the anomaly is
+    /// planted (paper: `[0.4, 0.8]`).
+    pub plant_band: (f64, f64),
+}
+
+impl CorpusSpec {
+    /// The paper's configuration for `family`: 20 normals, 25 series,
+    /// plant band 40–80%.
+    pub fn paper(family: UcrFamily) -> Self {
+        Self {
+            family,
+            normal_instances: 20,
+            series_count: 25,
+            plant_band: (0.4, 0.8),
+        }
+    }
+
+    /// Expected total length of each generated series
+    /// (`(normal_instances + 1) × instance_length`).
+    pub fn series_length(&self) -> usize {
+        (self.normal_instances + 1) * self.family.instance_length()
+    }
+
+    /// Generates one labeled series.
+    pub fn generate_one(&self, rng: &mut impl Rng) -> LabeledSeries {
+        assert!(self.normal_instances >= 2, "need at least 2 normal instances");
+        let ilen = self.family.instance_length();
+        let total = self.series_length();
+        let (lo, hi) = self.plant_band;
+        assert!((0.0..=1.0).contains(&lo) && lo < hi && hi <= 1.0, "bad plant band");
+
+        // Choose the boundary (in instance units) where the anomaly goes.
+        // Boundary b means: b normal instances, then the anomaly.
+        let lo_b = (lo * total as f64 / ilen as f64).ceil() as usize;
+        let hi_b = (hi * total as f64 / ilen as f64).floor() as usize;
+        let lo_b = lo_b.clamp(1, self.normal_instances - 1);
+        let hi_b = hi_b.clamp(lo_b, self.normal_instances - 1);
+        let plant_at = rng.gen_range(lo_b..=hi_b);
+
+        let mut values = Vec::with_capacity(total);
+        let mut gt_start = 0;
+        for i in 0..self.normal_instances + 1 {
+            if i == plant_at {
+                gt_start = values.len();
+                values.extend(self.family.anomalous_instance(rng));
+            } else {
+                values.extend(self.family.normal_instance(rng));
+            }
+        }
+        LabeledSeries {
+            series: TimeSeries::from_vec(values),
+            gt_start,
+            gt_len: ilen,
+            family: self.family,
+        }
+    }
+
+    /// Generates the full corpus (`series_count` labeled series).
+    pub fn generate(&self, rng: &mut impl Rng) -> Vec<LabeledSeries> {
+        (0..self.series_count).map(|_| self.generate_one(rng)).collect()
+    }
+}
+
+/// A series containing several planted anomalies (paper Section 7.5).
+#[derive(Debug, Clone)]
+pub struct MultiAnomalySeries {
+    /// The full series.
+    pub series: TimeSeries,
+    /// `(start, length)` of every planted anomalous instance.
+    pub ground_truth: Vec<(usize, usize)>,
+}
+
+/// Generates a series of `total_instances` instances from `family` with
+/// `anomaly_count` anomalous instances planted at distinct random
+/// boundaries (never the first or last instance, never adjacent to each
+/// other so candidates remain separable).
+///
+/// The paper's Section 7.5 uses StarLightCurve with 42 instances
+/// (length 43008) and 2 anomalies.
+pub fn generate_multi_anomaly(
+    family: UcrFamily,
+    total_instances: usize,
+    anomaly_count: usize,
+    rng: &mut impl Rng,
+) -> MultiAnomalySeries {
+    assert!(anomaly_count >= 1);
+    assert!(
+        total_instances >= 2 * anomaly_count + 2,
+        "not enough instances to separate {anomaly_count} anomalies"
+    );
+    let ilen = family.instance_length();
+    // Pick anomaly slots: not first/last, pairwise non-adjacent.
+    let mut slots: Vec<usize> = Vec::with_capacity(anomaly_count);
+    let mut guard = 0;
+    while slots.len() < anomaly_count {
+        let cand = rng.gen_range(1..total_instances - 1);
+        if slots.iter().all(|&s| s.abs_diff(cand) > 1) {
+            slots.push(cand);
+        }
+        guard += 1;
+        assert!(guard < 10_000, "could not place anomalies");
+    }
+    slots.sort_unstable();
+
+    let mut values = Vec::with_capacity(total_instances * ilen);
+    let mut ground_truth = Vec::with_capacity(anomaly_count);
+    for i in 0..total_instances {
+        if slots.binary_search(&i).is_ok() {
+            ground_truth.push((values.len(), ilen));
+            values.extend(family.anomalous_instance(rng));
+        } else {
+            values.extend(family.normal_instance(rng));
+        }
+    }
+    MultiAnomalySeries {
+        series: TimeSeries::from_vec(values),
+        ground_truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_spec_lengths_match_table3() {
+        // Table 3 series lengths are 21 × instance length for the exact
+        // datasets (GunPoint 3150, Wafer 3150, Trace 5775, SLC 21504,
+        // ECGFiveDays 2772).
+        assert_eq!(CorpusSpec::paper(UcrFamily::GunPoint).series_length(), 3150);
+        assert_eq!(CorpusSpec::paper(UcrFamily::Wafer).series_length(), 3150);
+        assert_eq!(CorpusSpec::paper(UcrFamily::Trace).series_length(), 5775);
+        assert_eq!(CorpusSpec::paper(UcrFamily::StarLightCurve).series_length(), 21504);
+        assert_eq!(CorpusSpec::paper(UcrFamily::EcgFiveDays).series_length(), 2772);
+    }
+
+    #[test]
+    fn generated_series_has_expected_length_and_gt() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let spec = CorpusSpec::paper(UcrFamily::GunPoint);
+        let ls = spec.generate_one(&mut rng);
+        assert_eq!(ls.series.len(), spec.series_length());
+        assert_eq!(ls.gt_len, 150);
+        assert_eq!(ls.gt_start % 150, 0, "anomaly planted off instance boundary");
+        assert!(ls.gt_start + ls.gt_len <= ls.series.len());
+    }
+
+    #[test]
+    fn anomaly_lands_in_plant_band() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = CorpusSpec::paper(UcrFamily::Wafer);
+        for _ in 0..50 {
+            let ls = spec.generate_one(&mut rng);
+            let frac = ls.gt_start as f64 / ls.series.len() as f64;
+            // Boundary quantization can nudge slightly outside; allow one
+            // instance of slack.
+            let slack = 150.0 / ls.series.len() as f64;
+            assert!(
+                frac >= 0.4 - slack && frac <= 0.8 + slack,
+                "anomaly at fraction {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn plant_positions_vary() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = CorpusSpec::paper(UcrFamily::Trace);
+        let starts: std::collections::HashSet<usize> =
+            (0..25).map(|_| spec.generate_one(&mut rng).gt_start).collect();
+        assert!(starts.len() > 3, "plant positions not randomized: {starts:?}");
+    }
+
+    #[test]
+    fn generate_returns_requested_count() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut spec = CorpusSpec::paper(UcrFamily::TwoLeadEcg);
+        spec.series_count = 7;
+        assert_eq!(spec.generate(&mut rng).len(), 7);
+    }
+
+    #[test]
+    fn multi_anomaly_layout() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = generate_multi_anomaly(UcrFamily::StarLightCurve, 42, 2, &mut rng);
+        assert_eq!(m.series.len(), 43008); // paper Section 7.5
+        assert_eq!(m.ground_truth.len(), 2);
+        let (s1, l1) = m.ground_truth[0];
+        let (s2, _) = m.ground_truth[1];
+        assert!(s1 + l1 <= s2, "anomalies overlap");
+        // Non-adjacent: at least one normal instance between them.
+        assert!(s2 - (s1 + l1) >= 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough instances")]
+    fn multi_anomaly_rejects_crowded_layout() {
+        let mut rng = StdRng::seed_from_u64(6);
+        generate_multi_anomaly(UcrFamily::GunPoint, 4, 2, &mut rng);
+    }
+
+    #[test]
+    fn ground_truth_region_differs_from_background() {
+        // The planted region should be structurally different: compare the
+        // anomalous instance with the instance right before it.
+        let mut rng = StdRng::seed_from_u64(7);
+        let spec = CorpusSpec::paper(UcrFamily::StarLightCurve);
+        let ls = spec.generate_one(&mut rng);
+        let ilen = ls.gt_len;
+        let anom = &ls.series[ls.gt_start..ls.gt_start + ilen];
+        let prev = &ls.series[ls.gt_start - ilen..ls.gt_start];
+        let dist: f64 = anom
+            .iter()
+            .zip(prev)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dist > 1.0, "planted anomaly indistinct (dist {dist})");
+    }
+}

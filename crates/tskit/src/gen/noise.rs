@@ -1,0 +1,88 @@
+//! Gaussian noise primitives.
+//!
+//! `rand` alone ships only uniform distributions; the standard normal is
+//! produced with the Box–Muller transform so the substrate does not need
+//! `rand_distr`.
+
+use rand::Rng;
+
+/// Draws one standard-normal sample via the Box–Muller transform.
+///
+/// Uses the polar-free cosine form; `u1` is drawn from `(0, 1]` so that
+/// `ln(u1)` is finite.
+pub fn gaussian(rng: &mut impl Rng) -> f64 {
+    // gen::<f64>() yields [0, 1); flip to (0, 1] to keep ln() finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A vector of `n` i.i.d. `N(0, sigma²)` samples.
+pub fn white_noise(n: usize, sigma: f64, rng: &mut impl Rng) -> Vec<f64> {
+    (0..n).map(|_| gaussian(rng) * sigma).collect()
+}
+
+/// Adds `N(0, sigma²)` noise to every element of `values` in place.
+pub fn add_noise(values: &mut [f64], sigma: f64, rng: &mut impl Rng) {
+    for v in values.iter_mut() {
+        *v += gaussian(rng) * sigma;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{mean, stddev};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments_are_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..200_000).map(|_| gaussian(&mut rng)).collect();
+        assert!(mean(&xs).abs() < 0.02, "mean {} too far from 0", mean(&xs));
+        assert!(
+            (stddev(&xs) - 1.0).abs() < 0.02,
+            "stddev {} too far from 1",
+            stddev(&xs)
+        );
+    }
+
+    #[test]
+    fn gaussian_is_finite() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10_000 {
+            assert!(gaussian(&mut rng).is_finite());
+        }
+    }
+
+    #[test]
+    fn white_noise_scales_with_sigma() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs = white_noise(100_000, 3.0, &mut rng);
+        assert!((stddev(&xs) - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn white_noise_zero_sigma_is_zero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs = white_noise(100, 0.0, &mut rng);
+        assert!(xs.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn add_noise_perturbs_in_place() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut xs = vec![10.0; 1000];
+        add_noise(&mut xs, 0.5, &mut rng);
+        assert!((mean(&xs) - 10.0).abs() < 0.1);
+        assert!(xs.iter().any(|&v| v != 10.0));
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let a = white_noise(64, 1.0, &mut StdRng::seed_from_u64(99));
+        let b = white_noise(64, 1.0, &mut StdRng::seed_from_u64(99));
+        assert_eq!(a, b);
+    }
+}

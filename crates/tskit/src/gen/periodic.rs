@@ -1,0 +1,144 @@
+//! Periodic signal generators.
+
+use rand::Rng;
+
+use super::noise::gaussian;
+
+/// Specification of a noisy sinusoid.
+#[derive(Debug, Clone, Copy)]
+pub struct SineSpec {
+    /// Samples per full period.
+    pub period: f64,
+    /// Peak amplitude.
+    pub amplitude: f64,
+    /// Phase offset in radians.
+    pub phase: f64,
+    /// Standard deviation of additive Gaussian noise.
+    pub noise_sigma: f64,
+}
+
+impl Default for SineSpec {
+    fn default() -> Self {
+        Self {
+            period: 64.0,
+            amplitude: 1.0,
+            phase: 0.0,
+            noise_sigma: 0.0,
+        }
+    }
+}
+
+/// Generates `n` samples of the sinusoid described by `spec`.
+pub fn sine_series(n: usize, spec: SineSpec, rng: &mut impl Rng) -> Vec<f64> {
+    let omega = std::f64::consts::TAU / spec.period;
+    (0..n)
+        .map(|i| {
+            spec.amplitude * (omega * i as f64 + spec.phase).sin()
+                + if spec.noise_sigma > 0.0 {
+                    gaussian(rng) * spec.noise_sigma
+                } else {
+                    0.0
+                }
+        })
+        .collect()
+}
+
+/// A smooth bump (raised cosine) of length `n` peaking at `amplitude`.
+///
+/// Starts and ends at exactly 0, which makes concatenated instances
+/// continuous — a requirement for corpus assembly (no artificial jumps at
+/// instance boundaries that detectors would latch onto).
+pub fn raised_cosine(n: usize, amplitude: f64) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / (n - 1).max(1) as f64;
+            amplitude * 0.5 * (1.0 - (std::f64::consts::TAU * t).cos())
+        })
+        .collect()
+}
+
+/// A Gaussian bump centered at `center` (fraction of `n`) with width
+/// `width` (fraction of `n`), evaluated over `n` samples.
+pub fn gaussian_bump(n: usize, center: f64, width: f64, amplitude: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / n.max(1) as f64;
+            let d = (t - center) / width;
+            amplitude * (-0.5 * d * d).exp()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sine_hits_expected_extremes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = sine_series(
+            256,
+            SineSpec {
+                period: 64.0,
+                amplitude: 2.0,
+                phase: 0.0,
+                noise_sigma: 0.0,
+            },
+            &mut rng,
+        );
+        // Peak of a period-64 sine is at sample 16.
+        assert!((s[16] - 2.0).abs() < 1e-6);
+        assert!((s[48] + 2.0).abs() < 1e-6);
+        assert!(s[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn sine_noise_is_additive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let clean = sine_series(4096, SineSpec::default(), &mut rng);
+        let mut rng = StdRng::seed_from_u64(1);
+        let noisy = sine_series(
+            4096,
+            SineSpec {
+                noise_sigma: 0.3,
+                ..SineSpec::default()
+            },
+            &mut rng,
+        );
+        let resid: Vec<f64> = clean.iter().zip(&noisy).map(|(c, x)| x - c).collect();
+        let s = crate::stats::stddev(&resid);
+        assert!((s - 0.3).abs() < 0.02, "residual stddev {s}");
+    }
+
+    #[test]
+    fn raised_cosine_boundary_and_peak() {
+        let b = raised_cosine(101, 3.0);
+        assert!(b[0].abs() < 1e-12);
+        assert!(b[100].abs() < 1e-9);
+        assert!((b[50] - 3.0).abs() < 1e-9);
+        assert!(b.iter().all(|&v| (-1e-12..=3.0 + 1e-12).contains(&v)));
+    }
+
+    #[test]
+    fn raised_cosine_degenerate_lengths() {
+        assert!(raised_cosine(0, 1.0).is_empty());
+        assert_eq!(raised_cosine(1, 1.0), vec![0.0]);
+    }
+
+    #[test]
+    fn gaussian_bump_peaks_at_center() {
+        let b = gaussian_bump(100, 0.5, 0.1, 2.0);
+        let (argmax, _) = b
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert!((argmax as i64 - 50).abs() <= 1);
+        assert!(b[0] < 0.01);
+    }
+}

@@ -1,0 +1,265 @@
+//! Appliance power-usage generators.
+//!
+//! Stand-ins for the REFIT household electricity traces used by the paper:
+//! the dishwasher snippet of Figure 1 (parameter-sensitivity motivation) and
+//! the 600,000-point fridge-freezer series of the Figure 9 case study.
+//! Real appliance loads are rectangular duty cycles with heater spikes;
+//! that is exactly what we synthesize, with controlled anomalous cycles
+//! planted at known positions so the case study can be scored.
+
+use rand::Rng;
+
+use super::noise::gaussian;
+
+/// A rectangular on/off duty cycle with timing jitter.
+#[derive(Debug, Clone, Copy)]
+pub struct DutyCycle {
+    /// Samples the appliance stays on per cycle.
+    pub on_len: usize,
+    /// Samples the appliance stays off per cycle.
+    pub off_len: usize,
+    /// Power draw while on.
+    pub on_power: f64,
+    /// Standby power while off.
+    pub off_power: f64,
+    /// Relative timing jitter (fraction of each segment length).
+    pub jitter: f64,
+}
+
+impl DutyCycle {
+    /// Total nominal cycle length in samples.
+    pub fn period(&self) -> usize {
+        self.on_len + self.off_len
+    }
+}
+
+/// A generated power trace plus the ground-truth anomalous intervals.
+#[derive(Debug, Clone)]
+pub struct PowerProfile {
+    /// The power readings.
+    pub values: Vec<f64>,
+    /// `(start, length)` of every planted anomalous event.
+    pub anomalies: Vec<(usize, usize)>,
+}
+
+fn jittered(len: usize, jitter: f64, rng: &mut impl Rng) -> usize {
+    if jitter <= 0.0 || len == 0 {
+        return len;
+    }
+    let delta = 1.0 + jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+    ((len as f64 * delta).round() as usize).max(1)
+}
+
+/// Appends one fridge-freezer compressor cycle: off period at standby
+/// power, then a compressor plateau with slight exponential sag.
+fn push_fridge_cycle(out: &mut Vec<f64>, cycle: &DutyCycle, rng: &mut impl Rng) {
+    let off = jittered(cycle.off_len, cycle.jitter, rng);
+    let on = jittered(cycle.on_len, cycle.jitter, rng);
+    for _ in 0..off {
+        out.push(cycle.off_power + gaussian(rng).abs() * 0.5);
+    }
+    for i in 0..on {
+        // Compressor draw sags ~8% over the on-period.
+        let sag = 1.0 - 0.08 * (i as f64 / on.max(1) as f64);
+        out.push(cycle.on_power * sag + gaussian(rng) * 1.5);
+    }
+}
+
+/// An anomalous cycle: compressor runs at half power, twice as long, with a
+/// low-frequency oscillation — an "unusual shape" like Figure 9(c).
+fn push_fridge_anomaly_shape(out: &mut Vec<f64>, cycle: &DutyCycle, rng: &mut impl Rng) -> (usize, usize) {
+    let start = out.len();
+    let off = cycle.off_len / 2;
+    let on = cycle.on_len * 2;
+    for _ in 0..off {
+        out.push(cycle.off_power + gaussian(rng).abs() * 0.5);
+    }
+    for i in 0..on {
+        let osc = 1.0 + 0.35 * (std::f64::consts::TAU * i as f64 / 120.0).sin();
+        out.push(cycle.on_power * 0.55 * osc + gaussian(rng) * 1.5);
+    }
+    (start, out.len() - start)
+}
+
+/// An anomalous event: normal cycle overlaid with short high spikes
+/// (defrost heater bursts) — like Figure 9(d).
+fn push_fridge_anomaly_spikes(out: &mut Vec<f64>, cycle: &DutyCycle, rng: &mut impl Rng) -> (usize, usize) {
+    let start = out.len();
+    push_fridge_cycle(out, cycle, rng);
+    let len = out.len() - start;
+    // Overlay 6 short spikes at random offsets within the event.
+    for _ in 0..6 {
+        let pos = start + rng.gen_range(0..len.max(1));
+        let spike_len = rng.gen_range(4..12).min(out.len() - pos);
+        for v in out[pos..pos + spike_len].iter_mut() {
+            *v += 400.0 + gaussian(rng) * 20.0;
+        }
+    }
+    (start, len)
+}
+
+/// Generates a fridge-freezer power trace of at least `total_len` samples
+/// (truncated to exactly `total_len`) with two planted anomalies of
+/// different kinds at roughly 1/3 and 2/3 of the series.
+///
+/// Nominal cycle length is `cycle_len` samples (the paper uses a sliding
+/// window of 900 ≈ one cycle).
+pub fn fridge_freezer_series(total_len: usize, cycle_len: usize, rng: &mut impl Rng) -> PowerProfile {
+    assert!(cycle_len >= 16, "cycle_len too small");
+    let cycle = DutyCycle {
+        on_len: cycle_len * 2 / 5,
+        off_len: cycle_len - cycle_len * 2 / 5,
+        on_power: 85.0,
+        off_power: 2.0,
+        jitter: 0.08,
+    };
+    let mut values = Vec::with_capacity(total_len + 3 * cycle_len);
+    let mut anomalies = Vec::new();
+    let t1 = total_len / 3;
+    let t2 = 2 * total_len / 3;
+    let mut planted1 = false;
+    let mut planted2 = false;
+    while values.len() < total_len {
+        if !planted1 && values.len() >= t1 {
+            anomalies.push(push_fridge_anomaly_shape(&mut values, &cycle, rng));
+            planted1 = true;
+        } else if !planted2 && values.len() >= t2 {
+            anomalies.push(push_fridge_anomaly_spikes(&mut values, &cycle, rng));
+            planted2 = true;
+        } else {
+            push_fridge_cycle(&mut values, &cycle, rng);
+        }
+    }
+    values.truncate(total_len);
+    // Drop anomalies that were truncated away entirely.
+    anomalies.retain(|&(s, _)| s < total_len);
+    for a in anomalies.iter_mut() {
+        a.1 = a.1.min(total_len - a.0);
+    }
+    PowerProfile { values, anomalies }
+}
+
+/// Appends one dishwasher cycle: idle, pump phase with two heater plateaus.
+fn push_dishwasher_cycle(out: &mut Vec<f64>, short_heating: bool, rng: &mut impl Rng) {
+    let idle = jittered(120, 0.1, rng);
+    for _ in 0..idle {
+        out.push(gaussian(rng).abs() * 0.3);
+    }
+    // Pump background runs through the whole wash.
+    let phases: &[(usize, f64)] = if short_heating {
+        // Anomalous cycle of Figure 1: unusually short heating period.
+        &[(40, 60.0), (18, 2000.0), (40, 60.0), (10, 2000.0), (30, 60.0)]
+    } else {
+        &[(40, 60.0), (60, 2000.0), (40, 60.0), (50, 2000.0), (30, 60.0)]
+    };
+    for &(len, power) in phases {
+        let len = jittered(len, 0.08, rng);
+        for _ in 0..len {
+            out.push(power + gaussian(rng) * power.max(10.0) * 0.01);
+        }
+    }
+}
+
+/// Generates a dishwasher trace of `n_cycles` wash cycles with the cycle at
+/// index `anomalous_at` (if given) replaced by a short-heating anomaly.
+///
+/// Returns the trace and the `(start, length)` of the anomalous cycle when
+/// one was planted.
+pub fn dishwasher_series(
+    n_cycles: usize,
+    anomalous_at: Option<usize>,
+    rng: &mut impl Rng,
+) -> PowerProfile {
+    let mut values = Vec::new();
+    let mut anomalies = Vec::new();
+    for c in 0..n_cycles {
+        let is_anomalous = anomalous_at == Some(c);
+        let start = values.len();
+        push_dishwasher_cycle(&mut values, is_anomalous, rng);
+        if is_anomalous {
+            anomalies.push((start, values.len() - start));
+        }
+    }
+    PowerProfile { values, anomalies }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fridge_series_length_and_anomaly_count() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let p = fridge_freezer_series(60_000, 900, &mut rng);
+        assert_eq!(p.values.len(), 60_000);
+        assert_eq!(p.anomalies.len(), 2);
+        for &(s, l) in &p.anomalies {
+            assert!(s + l <= 60_000);
+            assert!(l > 0);
+        }
+    }
+
+    #[test]
+    fn fridge_anomalies_land_near_thirds() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let p = fridge_freezer_series(90_000, 900, &mut rng);
+        let (s1, _) = p.anomalies[0];
+        let (s2, _) = p.anomalies[1];
+        assert!((s1 as f64 / 90_000.0 - 1.0 / 3.0).abs() < 0.05, "s1 at {s1}");
+        assert!((s2 as f64 / 90_000.0 - 2.0 / 3.0).abs() < 0.05, "s2 at {s2}");
+    }
+
+    #[test]
+    fn fridge_cycles_alternate_on_off() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let p = fridge_freezer_series(10_000, 900, &mut rng);
+        let high = p.values.iter().filter(|&&v| v > 40.0).count();
+        let frac = high as f64 / 10_000.0;
+        // Duty ratio is 2/5 on.
+        assert!((0.25..0.6).contains(&frac), "on-fraction {frac}");
+    }
+
+    #[test]
+    fn spike_anomaly_contains_high_power() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let p = fridge_freezer_series(120_000, 900, &mut rng);
+        let (s, l) = p.anomalies[1];
+        let max_in = p.values[s..s + l].iter().cloned().fold(0.0, f64::max);
+        assert!(max_in > 300.0, "spike anomaly max {max_in}");
+    }
+
+    #[test]
+    fn dishwasher_plants_anomaly_where_asked() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let p = dishwasher_series(8, Some(4), &mut rng);
+        assert_eq!(p.anomalies.len(), 1);
+        let (s, l) = p.anomalies[0];
+        assert!(l > 50);
+        // Anomalous cycle is shorter than a normal one (short heating).
+        let normal_cycle_len = p.values.len() / 8;
+        assert!(l < normal_cycle_len + 200);
+        assert!(s > 0);
+    }
+
+    #[test]
+    fn dishwasher_without_anomaly() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let p = dishwasher_series(5, None, &mut rng);
+        assert!(p.anomalies.is_empty());
+        assert!(p.values.iter().cloned().fold(0.0, f64::max) > 1500.0);
+    }
+
+    #[test]
+    fn duty_cycle_period() {
+        let c = DutyCycle {
+            on_len: 300,
+            off_len: 600,
+            on_power: 80.0,
+            off_power: 2.0,
+            jitter: 0.0,
+        };
+        assert_eq!(c.period(), 900);
+    }
+}

@@ -1,0 +1,460 @@
+//! UCR-archive-style dataset families (synthetic stand-ins).
+//!
+//! The paper's main evaluation (Section 7.1) draws instances from six UCR
+//! classification datasets and treats class 0 as "normal", everything else
+//! as "anomalous". We cannot ship the archive, so each family here is a
+//! parametric generator producing class-consistent instances with
+//! * the exact instance lengths of the paper's Table 3,
+//! * within-class variation (amplitude/timing jitter, noise) so normal
+//!   instances repeat *structurally* but not *literally*, and
+//! * a structurally different anomalous class (morphology change, extra or
+//!   missing feature) — the property the detectors key on.
+//!
+//! Instances start and end at the zero baseline so concatenation does not
+//! introduce artificial discontinuities.
+
+use rand::Rng;
+
+use super::ecg::{ecg_beat, EcgParams};
+use super::noise::add_noise;
+
+/// The six evaluation dataset families (paper Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UcrFamily {
+    /// ECG lead pair, instance length 82.
+    TwoLeadEcg,
+    /// Five-day ECG, instance length 132.
+    EcgFiveDays,
+    /// 3-D motion tracking (hand draw/point), instance length 150.
+    GunPoint,
+    /// Semiconductor wafer process sensor, instance length 150.
+    Wafer,
+    /// Synthetic control-chart style sensor, instance length 275.
+    Trace,
+    /// Phase-folded astronomical light curve, instance length 1024.
+    StarLightCurve,
+}
+
+impl UcrFamily {
+    /// All six families, in the order of the paper's tables.
+    pub const ALL: [UcrFamily; 6] = [
+        UcrFamily::TwoLeadEcg,
+        UcrFamily::EcgFiveDays,
+        UcrFamily::GunPoint,
+        UcrFamily::Wafer,
+        UcrFamily::Trace,
+        UcrFamily::StarLightCurve,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            UcrFamily::TwoLeadEcg => "TwoLeadECG",
+            UcrFamily::EcgFiveDays => "ECGFiveDays",
+            UcrFamily::GunPoint => "GunPoint",
+            UcrFamily::Wafer => "Wafer",
+            UcrFamily::Trace => "Trace",
+            UcrFamily::StarLightCurve => "StarLightCurve",
+        }
+    }
+
+    /// Parses a family from its paper name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Self> {
+        let lower = name.to_ascii_lowercase();
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|f| f.name().to_ascii_lowercase() == lower)
+    }
+
+    /// Instance ("segment") length per the paper's Table 3.
+    pub fn instance_length(&self) -> usize {
+        match self {
+            UcrFamily::TwoLeadEcg => 82,
+            UcrFamily::EcgFiveDays => 132,
+            UcrFamily::GunPoint => 150,
+            UcrFamily::Wafer => 150,
+            UcrFamily::Trace => 275,
+            UcrFamily::StarLightCurve => 1024,
+        }
+    }
+
+    /// Data type column of Table 3.
+    pub fn data_type(&self) -> &'static str {
+        match self {
+            UcrFamily::TwoLeadEcg | UcrFamily::EcgFiveDays => "ECG",
+            UcrFamily::GunPoint => "Motion",
+            UcrFamily::Wafer | UcrFamily::Trace | UcrFamily::StarLightCurve => "Sensor",
+        }
+    }
+
+    /// Generates one "normal" (class-0) instance.
+    pub fn normal_instance(&self, rng: &mut impl Rng) -> Vec<f64> {
+        match self {
+            UcrFamily::TwoLeadEcg => two_lead_ecg(rng, false),
+            UcrFamily::EcgFiveDays => ecg_five_days(rng, false),
+            UcrFamily::GunPoint => gun_point(rng, false),
+            UcrFamily::Wafer => wafer(rng, false),
+            UcrFamily::Trace => trace(rng, false),
+            UcrFamily::StarLightCurve => star_light_curve(rng, false),
+        }
+    }
+
+    /// Generates one "anomalous" (non-class-0) instance.
+    pub fn anomalous_instance(&self, rng: &mut impl Rng) -> Vec<f64> {
+        match self {
+            UcrFamily::TwoLeadEcg => two_lead_ecg(rng, true),
+            UcrFamily::EcgFiveDays => ecg_five_days(rng, true),
+            UcrFamily::GunPoint => gun_point(rng, true),
+            UcrFamily::Wafer => wafer(rng, true),
+            UcrFamily::Trace => trace(rng, true),
+            UcrFamily::StarLightCurve => star_light_curve(rng, true),
+        }
+    }
+}
+
+impl std::fmt::Display for UcrFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Uniform multiplicative jitter in `[1-rel, 1+rel]`.
+fn scale_jitter(rng: &mut impl Rng, rel: f64) -> f64 {
+    1.0 + rel * (rng.gen::<f64>() * 2.0 - 1.0)
+}
+
+/// Tapers the first and last `edge` samples toward zero so concatenated
+/// instances stay continuous even after feature-position jitter.
+fn taper_edges(v: &mut [f64], edge: usize) {
+    let n = v.len();
+    let edge = edge.min(n / 2);
+    for i in 0..edge {
+        let w = i as f64 / edge as f64;
+        v[i] *= w;
+        v[n - 1 - i] *= w;
+    }
+}
+
+// --- TwoLeadECG (82): one heart beat; anomalous = ectopic morphology -----
+
+fn two_lead_ecg(rng: &mut impl Rng, anomalous: bool) -> Vec<f64> {
+    let mut params = if anomalous {
+        EcgParams::ectopic()
+    } else {
+        EcgParams::default()
+    };
+    for a in params.amplitudes.iter_mut() {
+        *a *= scale_jitter(rng, 0.08);
+    }
+    for c in params.centers.iter_mut() {
+        *c = (*c + 0.01 * (rng.gen::<f64>() * 2.0 - 1.0)).clamp(0.02, 0.95);
+    }
+    let mut beat = ecg_beat(82, &params);
+    add_noise(&mut beat, 0.03, rng);
+    taper_edges(&mut beat, 4);
+    beat
+}
+
+// --- ECGFiveDays (132): beat with prominent T wave; anomalous = inverted T
+
+fn ecg_five_days(rng: &mut impl Rng, anomalous: bool) -> Vec<f64> {
+    let mut params = EcgParams {
+        centers: [0.15, 0.32, 0.38, 0.44, 0.70],
+        widths: [0.04, 0.012, 0.02, 0.014, 0.07],
+        amplitudes: [0.15, -0.15, 1.0, -0.25, 0.45],
+    };
+    if anomalous {
+        // Day-5 morphology: flattened R, inverted and early T wave.
+        params.amplitudes[2] = 0.55;
+        params.amplitudes[4] = -0.5;
+        params.centers[4] = 0.62;
+        params.widths[4] = 0.05;
+    }
+    for a in params.amplitudes.iter_mut() {
+        *a *= scale_jitter(rng, 0.08);
+    }
+    let mut beat = ecg_beat(132, &params);
+    add_noise(&mut beat, 0.03, rng);
+    taper_edges(&mut beat, 5);
+    beat
+}
+
+// --- GunPoint (150): rise-hold-return motion; anomalous = overshoot dip --
+
+fn gun_point(rng: &mut impl Rng, anomalous: bool) -> Vec<f64> {
+    let n = 150;
+    let amp = scale_jitter(rng, 0.07);
+    let rise_end = (30.0 * scale_jitter(rng, 0.1)) as usize;
+    let fall_start = n - (30.0 * scale_jitter(rng, 0.1)) as usize;
+    let mut v = vec![0.0; n];
+    for (i, x) in v.iter_mut().enumerate() {
+        *x = if i < rise_end {
+            // Smoothstep rise.
+            let t = i as f64 / rise_end as f64;
+            amp * t * t * (3.0 - 2.0 * t)
+        } else if i < fall_start {
+            amp
+        } else {
+            let t = (i - fall_start) as f64 / (n - fall_start) as f64;
+            amp * (1.0 - t * t * (3.0 - 2.0 * t))
+        };
+    }
+    if anomalous {
+        // "Point" class: the hand dips after raising (no gun to steady) —
+        // a pronounced dip in the middle of the plateau.
+        let c = n as f64 * 0.5;
+        let w = n as f64 * 0.06;
+        for (i, x) in v.iter_mut().enumerate() {
+            let d = (i as f64 - c) / w;
+            *x -= amp * 0.55 * (-0.5 * d * d).exp();
+        }
+    }
+    add_noise(&mut v, 0.02, rng);
+    taper_edges(&mut v, 3);
+    v
+}
+
+// --- Wafer (150): plateaus + narrow process spikes; anomalous = fault ----
+
+fn wafer(rng: &mut impl Rng, anomalous: bool) -> Vec<f64> {
+    let n = 150;
+    let amp = scale_jitter(rng, 0.05);
+    let mut v = vec![0.0; n];
+    // Normal profile: ramp to plateau A, step to plateau B, narrow spike,
+    // ramp down.
+    for (i, x) in v.iter_mut().enumerate() {
+        let t = i as f64 / n as f64;
+        *x = amp
+            * if t < 0.08 {
+                t / 0.08 * 0.6
+            } else if t < 0.4 {
+                0.6
+            } else if t < 0.45 {
+                0.6 + (t - 0.4) / 0.05 * 0.4
+            } else if t < 0.85 {
+                1.0
+            } else {
+                1.0 - (t - 0.85) / 0.15
+            };
+    }
+    // The narrow etch spike present in normal cycles.
+    let spike_c = n as f64 * 0.25;
+    for (i, x) in v.iter_mut().enumerate() {
+        let d = (i as f64 - spike_c) / 2.0;
+        *x += amp * 0.5 * (-0.5 * d * d).exp();
+    }
+    if anomalous {
+        // Fault class: plateau B droops and an extra wide spike appears.
+        let c = n as f64 * 0.65;
+        let w = n as f64 * 0.05;
+        for (i, x) in v.iter_mut().enumerate() {
+            let t = i as f64 / n as f64;
+            if (0.45..0.85).contains(&t) {
+                *x -= amp * 0.3 * ((t - 0.45) / 0.4);
+            }
+            let d = (i as f64 - c) / w;
+            *x += amp * 0.8 * (-0.5 * d * d).exp();
+        }
+    }
+    add_noise(&mut v, 0.02, rng);
+    taper_edges(&mut v, 3);
+    v
+}
+
+// --- Trace (275): step transient with oscillation; anomalous = different -
+
+fn trace(rng: &mut impl Rng, anomalous: bool) -> Vec<f64> {
+    let n = 275;
+    let amp = scale_jitter(rng, 0.05);
+    let step_at = (n as f64 * (0.35 + 0.05 * rng.gen::<f64>())) as usize;
+    let mut v = vec![0.0; n];
+    for (i, x) in v.iter_mut().enumerate() {
+        if i >= step_at {
+            let t = (i - step_at) as f64;
+            let rise = 1.0 - (-t / 12.0).exp();
+            *x = amp * rise;
+            if !anomalous {
+                // Normal class: damped oscillation riding the step.
+                *x += amp * 0.35 * (-t / 40.0).exp() * (std::f64::consts::TAU * t / 22.0).sin();
+            }
+        }
+    }
+    if anomalous {
+        // Anomalous class: no ringing, but a slow ramp after the step and a
+        // precursor dip before it.
+        for (i, x) in v.iter_mut().enumerate() {
+            if i >= step_at {
+                let t = (i - step_at) as f64 / (n - step_at) as f64;
+                *x += amp * 0.3 * t;
+            } else {
+                let d = (i as f64 - (step_at as f64 - 18.0)) / 6.0;
+                *x -= amp * 0.4 * (-0.5 * d * d).exp();
+            }
+        }
+    }
+    // Return to baseline at the very end so instances chain smoothly.
+    let tail = n / 10;
+    for i in 0..tail {
+        let w = i as f64 / tail as f64;
+        let idx = n - tail + i;
+        v[idx] *= 1.0 - w;
+    }
+    add_noise(&mut v, 0.02, rng);
+    taper_edges(&mut v, 3);
+    v
+}
+
+// --- StarLightCurve (1024): folded light curve; anomalous = binary dips --
+
+fn star_light_curve(rng: &mut impl Rng, anomalous: bool) -> Vec<f64> {
+    let n = 1024;
+    let amp = scale_jitter(rng, 0.06);
+    let mut v = vec![0.0; n];
+    if !anomalous {
+        // Cepheid-like variable: asymmetric bump — fast rise, slow decay.
+        let peak = 0.3 + 0.03 * (rng.gen::<f64>() * 2.0 - 1.0);
+        for (i, x) in v.iter_mut().enumerate() {
+            let t = i as f64 / n as f64;
+            let d = if t < peak {
+                (t - peak) / 0.10
+            } else {
+                (t - peak) / 0.28
+            };
+            *x = amp * (-0.5 * d * d).exp();
+        }
+    } else {
+        // Eclipsing-binary-like: two sharp dips on a gentle hump.
+        let d1 = 0.32 + 0.02 * (rng.gen::<f64>() * 2.0 - 1.0);
+        let d2 = d1 + 0.38;
+        for (i, x) in v.iter_mut().enumerate() {
+            let t = i as f64 / n as f64;
+            let hump = 0.35 * (std::f64::consts::PI * t).sin();
+            let e1 = ((t - d1) / 0.035).powi(2);
+            let e2 = ((t - d2) / 0.045).powi(2);
+            *x = amp * (hump - 0.9 * (-0.5 * e1).exp() - 0.55 * (-0.5 * e2).exp());
+        }
+    }
+    add_noise(&mut v, 0.015, rng);
+    taper_edges(&mut v, 8);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::mean;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn instance_lengths_match_table3() {
+        let expected = [82, 132, 150, 150, 275, 1024];
+        for (f, &len) in UcrFamily::ALL.iter().zip(expected.iter()) {
+            assert_eq!(f.instance_length(), len, "{f}");
+        }
+    }
+
+    #[test]
+    fn generated_lengths_match_declared() {
+        let mut r = rng();
+        for f in UcrFamily::ALL {
+            assert_eq!(f.normal_instance(&mut r).len(), f.instance_length(), "{f} normal");
+            assert_eq!(
+                f.anomalous_instance(&mut r).len(),
+                f.instance_length(),
+                "{f} anomalous"
+            );
+        }
+    }
+
+    #[test]
+    fn instances_are_finite_and_bounded() {
+        let mut r = rng();
+        for f in UcrFamily::ALL {
+            for _ in 0..5 {
+                for inst in [f.normal_instance(&mut r), f.anomalous_instance(&mut r)] {
+                    assert!(inst.iter().all(|v| v.is_finite() && v.abs() < 100.0), "{f}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn instances_start_and_end_at_baseline() {
+        let mut r = rng();
+        for f in UcrFamily::ALL {
+            for _ in 0..3 {
+                let inst = f.normal_instance(&mut r);
+                assert!(inst[0].abs() < 0.15, "{f} starts at {}", inst[0]);
+                assert!(inst[inst.len() - 1].abs() < 0.15, "{f} ends at {}", inst[inst.len() - 1]);
+            }
+        }
+    }
+
+    /// The anomalous class must be farther from a normal template than
+    /// normal instances are from each other — otherwise no detector could
+    /// possibly find the planted instance.
+    #[test]
+    fn anomalous_class_is_separable() {
+        let mut r = rng();
+        for f in UcrFamily::ALL {
+            let template = f.normal_instance(&mut r);
+            let dist = |a: &[f64], b: &[f64]| -> f64 {
+                a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt()
+            };
+            let mut intra = 0.0;
+            let mut inter = 0.0;
+            let reps = 10;
+            for _ in 0..reps {
+                intra += dist(&template, &f.normal_instance(&mut r));
+                inter += dist(&template, &f.anomalous_instance(&mut r));
+            }
+            assert!(
+                inter > 1.5 * intra,
+                "{f}: inter {inter:.2} not clearly above intra {intra:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn normal_instances_vary_between_draws() {
+        let mut r = rng();
+        for f in UcrFamily::ALL {
+            let a = f.normal_instance(&mut r);
+            let b = f.normal_instance(&mut r);
+            assert_ne!(a, b, "{f} draws identical instances");
+        }
+    }
+
+    #[test]
+    fn name_round_trip() {
+        for f in UcrFamily::ALL {
+            assert_eq!(UcrFamily::from_name(f.name()), Some(f));
+            assert_eq!(UcrFamily::from_name(&f.name().to_uppercase()), Some(f));
+        }
+        assert_eq!(UcrFamily::from_name("NoSuchSet"), None);
+    }
+
+    #[test]
+    fn data_types_match_table3() {
+        assert_eq!(UcrFamily::TwoLeadEcg.data_type(), "ECG");
+        assert_eq!(UcrFamily::GunPoint.data_type(), "Motion");
+        assert_eq!(UcrFamily::Wafer.data_type(), "Sensor");
+    }
+
+    #[test]
+    fn instances_are_roughly_zero_baseline() {
+        let mut r = rng();
+        for f in UcrFamily::ALL {
+            let inst = f.normal_instance(&mut r);
+            // Mean is small relative to peak amplitude.
+            let peak = inst.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+            assert!(mean(&inst).abs() < peak, "{f}");
+        }
+    }
+}

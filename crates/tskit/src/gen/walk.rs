@@ -1,0 +1,64 @@
+//! Random-walk generator (Figure 8 scalability workload "RW").
+
+use rand::Rng;
+
+use super::noise::gaussian;
+
+/// Generates a Gaussian random walk of length `n` starting at 0.
+///
+/// `x[t] = x[t-1] + N(0, step_sigma²)`. This is the classic unstructured
+/// scalability workload: grammar induction sees few repeats, so the rule
+/// density machinery is exercised at its worst case.
+pub fn random_walk(n: usize, step_sigma: f64, rng: &mut impl Rng) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    let mut x = 0.0;
+    for _ in 0..n {
+        out.push(x);
+        x += gaussian(rng) * step_sigma;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn length_and_start() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = random_walk(1000, 1.0, &mut rng);
+        assert_eq!(w.len(), 1000);
+        assert_eq!(w[0], 0.0);
+    }
+
+    #[test]
+    fn zero_sigma_stays_flat() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = random_walk(100, 0.0, &mut rng);
+        assert!(w.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn increments_have_expected_scale() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let w = random_walk(100_000, 2.0, &mut rng);
+        let incs: Vec<f64> = w.windows(2).map(|p| p[1] - p[0]).collect();
+        let s = crate::stats::stddev(&incs);
+        assert!((s - 2.0).abs() < 0.05, "increment stddev {s}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = random_walk(50, 1.0, &mut StdRng::seed_from_u64(1));
+        let b = random_walk(50, 1.0, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_walk() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(random_walk(0, 1.0, &mut rng).is_empty());
+    }
+}

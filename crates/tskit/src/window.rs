@@ -1,0 +1,158 @@
+//! Sliding-window subsequence extraction.
+//!
+//! Discretization (and discord discovery) both walk a window of length `n`
+//! across the series, one point at a time. The paper indexes subsequences
+//! `T_{p,q}` with `1 ≤ p ≤ N − n + 1`; here windows are 0-based half-open
+//! ranges `[start, start + n)`.
+
+/// Iterator over all length-`n` windows of a slice, stepping by one.
+///
+/// Equivalent to `slice.windows(n)` but also yields the start offset, which
+/// every consumer needs to map results back to time-series positions.
+#[derive(Debug, Clone)]
+pub struct SlidingWindows<'a> {
+    data: &'a [f64],
+    n: usize,
+    pos: usize,
+}
+
+impl<'a> SlidingWindows<'a> {
+    /// Number of windows that will be yielded.
+    pub fn count_windows(&self) -> usize {
+        window_count(self.data.len(), self.n)
+    }
+}
+
+impl<'a> Iterator for SlidingWindows<'a> {
+    type Item = (usize, &'a [f64]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.n == 0 || self.pos + self.n > self.data.len() {
+            return None;
+        }
+        let item = (self.pos, &self.data[self.pos..self.pos + self.n]);
+        self.pos += 1;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = if self.n == 0 || self.pos + self.n > self.data.len() {
+            0
+        } else {
+            self.data.len() - self.n - self.pos + 1
+        };
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for SlidingWindows<'_> {}
+
+/// Returns an iterator of `(start, window)` pairs over `data`.
+///
+/// Yields nothing when `n == 0` or `n > data.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use egi_tskit::sliding_windows;
+///
+/// let data = [1.0, 2.0, 3.0, 4.0];
+/// let ws: Vec<_> = sliding_windows(&data, 3).collect();
+/// assert_eq!(ws.len(), 2);
+/// assert_eq!(ws[0], (0, &data[0..3]));
+/// assert_eq!(ws[1], (1, &data[1..4]));
+/// ```
+pub fn sliding_windows(data: &[f64], n: usize) -> SlidingWindows<'_> {
+    SlidingWindows { data, n, pos: 0 }
+}
+
+/// Number of length-`n` sliding windows in a series of length `len`.
+///
+/// `N − n + 1` when `0 < n ≤ len`, otherwise 0.
+pub fn window_count(len: usize, n: usize) -> usize {
+    if n == 0 || n > len {
+        0
+    } else {
+        len - n + 1
+    }
+}
+
+/// `true` when intervals `[a_start, a_start + len_a)` and
+/// `[b_start, b_start + len_b)` overlap.
+///
+/// Used by the anomaly ranking step, which requires the reported top-k
+/// candidates to be mutually non-overlapping (Section 7.1.2), and by the
+/// self-match exclusion zone in discord discovery.
+#[inline]
+pub fn intervals_overlap(a_start: usize, len_a: usize, b_start: usize, len_b: usize) -> bool {
+    a_start < b_start + len_b && b_start < a_start + len_a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yields_all_windows_in_order() {
+        let data: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let ws: Vec<_> = sliding_windows(&data, 2).collect();
+        assert_eq!(ws.len(), 5);
+        for (i, (start, w)) in ws.iter().enumerate() {
+            assert_eq!(*start, i);
+            assert_eq!(w.len(), 2);
+            assert_eq!(w[0], i as f64);
+        }
+    }
+
+    #[test]
+    fn window_equal_to_len_yields_once() {
+        let data = [1.0, 2.0, 3.0];
+        let ws: Vec<_> = sliding_windows(&data, 3).collect();
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].0, 0);
+    }
+
+    #[test]
+    fn oversized_window_yields_nothing() {
+        let data = [1.0, 2.0];
+        assert_eq!(sliding_windows(&data, 3).count(), 0);
+        assert_eq!(window_count(2, 3), 0);
+    }
+
+    #[test]
+    fn zero_window_yields_nothing() {
+        let data = [1.0, 2.0];
+        assert_eq!(sliding_windows(&data, 0).count(), 0);
+        assert_eq!(window_count(2, 0), 0);
+    }
+
+    #[test]
+    fn exact_size_hint() {
+        let data = [0.0; 10];
+        let mut it = sliding_windows(&data, 4);
+        assert_eq!(it.len(), 7);
+        it.next();
+        assert_eq!(it.len(), 6);
+    }
+
+    #[test]
+    fn count_windows_matches_formula() {
+        assert_eq!(window_count(10, 4), 7);
+        assert_eq!(window_count(10, 10), 1);
+        assert_eq!(window_count(0, 1), 0);
+    }
+
+    #[test]
+    fn overlap_cases() {
+        // [0,5) vs [4,9): overlap at 4.
+        assert!(intervals_overlap(0, 5, 4, 5));
+        // [0,5) vs [5,10): touching, no overlap.
+        assert!(!intervals_overlap(0, 5, 5, 5));
+        // Containment.
+        assert!(intervals_overlap(2, 10, 4, 2));
+        // Disjoint.
+        assert!(!intervals_overlap(0, 2, 10, 2));
+        // Symmetry.
+        assert!(intervals_overlap(4, 5, 0, 5));
+    }
+}

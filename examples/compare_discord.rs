@@ -1,0 +1,84 @@
+//! Ensemble grammar induction vs. discord discovery, head to head.
+//!
+//! Runs both detector families on the same labeled series and reports
+//! location accuracy and wall-clock time — a miniature of the paper's
+//! Tables 4/5 plus Figure 8 trade-off: the discord (matrix profile) method
+//! is exact but quadratic; the ensemble is approximate but linear.
+//!
+//! Run with: `cargo run --release --example compare_discord -- [family]`
+//! where family ∈ {TwoLeadECG, ECGFiveDays, GunPoint, Wafer, Trace,
+//! StarLightCurve} (default GunPoint).
+
+use egi::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn score(predict: &[usize], gt_start: usize, gt_len: usize) -> f64 {
+    predict
+        .iter()
+        .map(|&p| 1.0 - (p.abs_diff(gt_start) as f64 / gt_len as f64).min(1.0))
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    let family = std::env::args()
+        .nth(1)
+        .map(|s| UcrFamily::from_name(&s).expect("unknown dataset family"))
+        .unwrap_or(UcrFamily::GunPoint);
+    println!("dataset family: {family} (instance length {})", family.instance_length());
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let spec = CorpusSpec::paper(family);
+    let mut ens_scores = Vec::new();
+    let mut dis_scores = Vec::new();
+    let mut ens_time = 0.0;
+    let mut dis_time = 0.0;
+
+    let trials = 5;
+    for t in 0..trials {
+        let ls = spec.generate_one(&mut rng);
+        let window = ls.gt_len;
+
+        let det = EnsembleDetector::new(EnsembleConfig {
+            window,
+            ..EnsembleConfig::default()
+        });
+        let t0 = Instant::now();
+        let cands: Vec<usize> = det
+            .detect(&ls.series, 3, t as u64)
+            .anomalies
+            .iter()
+            .map(|c| c.start)
+            .collect();
+        ens_time += t0.elapsed().as_secs_f64();
+        ens_scores.push(score(&cands, ls.gt_start, ls.gt_len));
+
+        let det = DiscordDetector::new(DiscordConfig::new(window));
+        let t0 = Instant::now();
+        let cands: Vec<usize> = det.detect(&ls.series, 3).iter().map(|d| d.start).collect();
+        dis_time += t0.elapsed().as_secs_f64();
+        dis_scores.push(score(&cands, ls.gt_start, ls.gt_len));
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!("\nover {trials} generated series:");
+    println!(
+        "  ensemble : avg Score {:.3}, total time {:.2} s",
+        mean(&ens_scores),
+        ens_time
+    );
+    println!(
+        "  discord  : avg Score {:.3}, total time {:.2} s",
+        mean(&dis_scores),
+        dis_time
+    );
+    println!(
+        "\nper-series Scores (ensemble vs discord): {:?}",
+        ens_scores
+            .iter()
+            .zip(&dis_scores)
+            .map(|(e, d)| format!("{e:.2}/{d:.2}"))
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,163 @@
+//! Degenerate-input and failure-injection tests across the public API.
+//!
+//! A library that only behaves on textbook inputs is not adoptable; these
+//! tests pin the behaviour on the awkward inputs real users feed it:
+//! series shorter than the window, constant series, quantized/stepped
+//! series, NaN poisoning, and extreme parameter corners.
+
+use egi::prelude::*;
+
+fn wave(n: usize) -> Vec<f64> {
+    (0..n).map(|i| (i as f64 * 0.21).sin() * 2.0).collect()
+}
+
+#[test]
+fn ensemble_on_series_shorter_than_window_returns_empty() {
+    let det = EnsembleDetector::new(EnsembleConfig {
+        window: 100,
+        ensemble_size: 5,
+        ..EnsembleConfig::default()
+    });
+    let report = det.detect(&wave(50), 3, 1);
+    assert!(report.anomalies.is_empty());
+    assert_eq!(report.curve.len(), 50);
+}
+
+#[test]
+fn ensemble_on_constant_series_does_not_panic() {
+    let det = EnsembleDetector::new(EnsembleConfig {
+        window: 16,
+        ensemble_size: 5,
+        ..EnsembleConfig::default()
+    });
+    let report = det.detect(&[3.25; 400], 3, 1);
+    // Constant series: every window is the same word, one token survives
+    // numerosity reduction, no rules — a flat-zero curve, candidates tie.
+    assert!(report.curve.iter().all(|&v| v == 0.0));
+    assert!(!report.anomalies.is_empty());
+}
+
+#[test]
+fn single_on_stepped_series_does_not_panic() {
+    // Quantized sensor output: long flat runs with abrupt steps.
+    let mut series = Vec::new();
+    for block in 0..40 {
+        series.extend(std::iter::repeat_n((block % 3) as f64, 25));
+    }
+    let det = SingleGiDetector::new(GiConfig::fixed(30));
+    let report = det.detect(&series, 3);
+    assert_eq!(report.curve.len(), series.len());
+}
+
+#[test]
+#[should_panic(expected = "non-finite")]
+fn ensemble_rejects_nan() {
+    let mut series = wave(300);
+    series[120] = f64::NAN;
+    let det = EnsembleDetector::new(EnsembleConfig {
+        window: 30,
+        ensemble_size: 4,
+        ..EnsembleConfig::default()
+    });
+    det.detect(&series, 1, 0);
+}
+
+#[test]
+#[should_panic(expected = "non-finite")]
+fn single_rejects_infinity() {
+    let mut series = wave(300);
+    series[10] = f64::INFINITY;
+    SingleGiDetector::new(GiConfig::fixed(30)).detect(&series, 1);
+}
+
+#[test]
+fn window_equal_to_series_length() {
+    let series = wave(64);
+    let det = SingleGiDetector::new(GiConfig::fixed(64));
+    let report = det.detect(&series, 3);
+    // Exactly one window: one token, no grammar, flat curve, 1 candidate.
+    assert!(report.anomalies.len() <= 1);
+}
+
+#[test]
+fn minimal_alphabet_and_paa() {
+    let series = wave(500);
+    let det = SingleGiDetector::new(GiConfig {
+        window: 25,
+        sax: SaxConfig::new(1, 2),
+    });
+    let report = det.detect(&series, 2);
+    assert_eq!(report.curve.len(), 500);
+}
+
+#[test]
+fn maximum_supported_alphabet() {
+    let series = wave(400);
+    let det = SingleGiDetector::new(GiConfig {
+        window: 40,
+        sax: SaxConfig::new(10, 26),
+    });
+    let report = det.detect(&series, 2);
+    assert_eq!(report.curve.len(), 400);
+}
+
+#[test]
+fn discord_on_constant_series() {
+    let det = DiscordDetector::new(DiscordConfig::new(10));
+    let ds = det.detect(&[5.0; 200], 2);
+    // All windows identical → all distances 0; discords exist but carry
+    // distance 0 (nothing stands out).
+    for d in ds {
+        assert_eq!(d.distance, 0.0);
+    }
+}
+
+#[test]
+fn top_k_zero_returns_nothing_everywhere() {
+    let series = wave(300);
+    let e = EnsembleDetector::new(EnsembleConfig {
+        window: 30,
+        ensemble_size: 4,
+        ..EnsembleConfig::default()
+    })
+    .detect(&series, 0, 1);
+    assert!(e.anomalies.is_empty());
+    let s = SingleGiDetector::new(GiConfig::fixed(30)).detect(&series, 0);
+    assert!(s.anomalies.is_empty());
+    let d = DiscordDetector::new(DiscordConfig::new(30)).detect(&series, 0);
+    assert!(d.is_empty());
+}
+
+#[test]
+fn huge_k_is_clamped_by_geometry() {
+    let series = wave(200);
+    let report = SingleGiDetector::new(GiConfig::fixed(50)).detect(&series, 1000);
+    // At most ⌈200/50⌉ = 4 non-overlapping windows fit.
+    assert!(report.anomalies.len() <= 4);
+}
+
+#[test]
+fn ensemble_selectivity_one_uses_every_member() {
+    let series = wave(600);
+    let det = EnsembleDetector::new(EnsembleConfig {
+        window: 40,
+        ensemble_size: 10,
+        selectivity: 1.0,
+        ..EnsembleConfig::default()
+    });
+    let diag = det.diagnostics(&series, 3);
+    assert_eq!(diag.kept.len(), diag.params.len());
+}
+
+#[test]
+fn tiny_selectivity_keeps_at_least_one_member() {
+    let series = wave(600);
+    let det = EnsembleDetector::new(EnsembleConfig {
+        window: 40,
+        ensemble_size: 10,
+        selectivity: 0.01,
+        ..EnsembleConfig::default()
+    });
+    let diag = det.diagnostics(&series, 3);
+    assert_eq!(diag.kept.len(), 1);
+}

@@ -1,0 +1,142 @@
+//! Cross-crate integration tests: the full pipeline from raw series to
+//! ranked anomalies, exercised through the facade crate exactly as a
+//! downstream user would.
+
+use egi::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn labeled(family: UcrFamily, seed: u64) -> LabeledSeries {
+    let mut rng = StdRng::seed_from_u64(seed);
+    CorpusSpec::paper(family).generate_one(&mut rng)
+}
+
+/// End-to-end: ensemble finds the planted anomaly on every dataset family
+/// for at least a majority of seeds.
+#[test]
+fn ensemble_finds_planted_anomalies_across_families() {
+    for family in UcrFamily::ALL {
+        let mut hits = 0;
+        let trials = 3;
+        for seed in 0..trials {
+            let ls = labeled(family, 100 + seed);
+            let det = EnsembleDetector::new(EnsembleConfig {
+                window: ls.gt_len,
+                ensemble_size: 20,
+                ..EnsembleConfig::default()
+            });
+            let report = det.detect(&ls.series, 3, seed);
+            let hit = report
+                .anomalies
+                .iter()
+                .any(|c| c.start.abs_diff(ls.gt_start) < ls.gt_len);
+            if hit {
+                hits += 1;
+            }
+        }
+        assert!(
+            hits * 2 > trials,
+            "{family}: only {hits}/{trials} trials hit the planted anomaly"
+        );
+    }
+}
+
+/// The discretize → induce → density pipeline is internally consistent:
+/// grammar expansion reproduces the token stream and the density curve
+/// length matches the series.
+#[test]
+fn pipeline_internal_consistency() {
+    let ls = labeled(UcrFamily::Wafer, 7);
+    let series = ls.series.as_slice();
+    let fast = egi::sax::FastSax::new(series);
+    let multi = egi::sax::MultiResBreakpoints::new(10);
+    let cfg = egi::sax::SaxConfig::new(5, 6);
+    let nr = egi::sax::discretize_series(&fast, ls.gt_len, cfg, &multi);
+    assert!(!nr.is_empty());
+
+    let tokens = egi::core::intern_tokens(&nr);
+    let grammar = egi::sequitur::induce(tokens.iter().copied());
+    grammar.verify().expect("grammar invariants");
+    assert_eq!(grammar.expand_root(), tokens);
+
+    let curve = egi::core::RuleDensityCurve::build(&grammar, &nr, series.len());
+    assert_eq!(curve.len(), series.len());
+    assert!(curve.values.iter().all(|&v| v >= 0.0));
+}
+
+/// The ensemble at τ = 100% with N = 1 degenerates to a (normalized)
+/// single run: both must rank the same top candidate.
+#[test]
+fn ensemble_of_one_matches_single_run() {
+    let ls = labeled(UcrFamily::GunPoint, 3);
+    let det = EnsembleDetector::new(EnsembleConfig {
+        window: ls.gt_len,
+        ensemble_size: 1,
+        selectivity: 1.0,
+        ..EnsembleConfig::default()
+    });
+    let params = det.member_params(4);
+    assert_eq!(params.len(), 1);
+    let ens = det.detect(&ls.series, 1, 4);
+
+    let single = SingleGiDetector::new(GiConfig {
+        window: ls.gt_len,
+        sax: params[0],
+    });
+    let sr = single.detect(&ls.series, 1);
+    assert_eq!(
+        ens.anomalies[0].start, sr.anomalies[0].start,
+        "ensemble-of-one diverges from its single member"
+    );
+}
+
+/// Discord detector and ensemble agree on an easy, blatant anomaly.
+#[test]
+fn discord_and_ensemble_agree_on_blatant_anomaly() {
+    let ls = labeled(UcrFamily::StarLightCurve, 1);
+    let window = ls.gt_len;
+    let ens = EnsembleDetector::new(EnsembleConfig {
+        window,
+        ensemble_size: 15,
+        ..EnsembleConfig::default()
+    })
+    .detect(&ls.series, 1, 9);
+    let dis = DiscordDetector::new(DiscordConfig::new(window)).detect(&ls.series, 1);
+
+    let e = ens.anomalies[0].start;
+    let d = dis[0].start;
+    assert!(
+        e.abs_diff(ls.gt_start) < window,
+        "ensemble missed: {e} vs {}",
+        ls.gt_start
+    );
+    assert!(
+        d.abs_diff(ls.gt_start) < window,
+        "discord missed: {d} vs {}",
+        ls.gt_start
+    );
+}
+
+/// Seeded runs are bit-reproducible through the public API.
+#[test]
+fn detection_is_reproducible() {
+    let ls = labeled(UcrFamily::Trace, 5);
+    let det = EnsembleDetector::new(EnsembleConfig {
+        window: ls.gt_len,
+        ensemble_size: 12,
+        ..EnsembleConfig::default()
+    });
+    let a = det.detect(&ls.series, 3, 77);
+    let b = det.detect(&ls.series, 3, 77);
+    assert_eq!(a, b);
+}
+
+/// SAX words rendered through the facade look like the paper's examples.
+#[test]
+fn sax_word_rendering() {
+    let sub: Vec<f64> = (0..32).map(|i| (i as f64 / 5.0).sin()).collect();
+    let table = egi::sax::BreakpointTable::new(3);
+    let word = egi::sax::sax_word(&sub, SaxConfig::new(4, 3), &table);
+    assert_eq!(word.len(), 4);
+    assert!(word.to_letters().chars().all(|c| ('a'..='c').contains(&c)));
+}
