@@ -1,0 +1,279 @@
+//! Perf baseline for the discord fast paths and the ensemble runtime.
+//!
+//! Times, on deterministic fixtures:
+//!
+//! * **MASS** — per-query FFT (`mass_self`) vs shared-spectrum
+//!   (`MassPrecomputed`), over a fixed query subset;
+//! * **STAMP** — full run, naive per-query-FFT path vs shared-spectrum
+//!   path (the ≥ 2× acceptance gate of the shared-spectrum work);
+//! * **STOMP** — diagonal-parallel kernel across worker counts;
+//! * **Ensemble** — `EnsembleDetector::detect`, serial vs parallel.
+//!
+//! Writes `BENCH_discord.json` into the current directory (override with
+//! the first CLI argument) so successive PRs accumulate a perf
+//! trajectory. Pass `--quick` for a fast smoke run at reduced sizes.
+
+use std::time::Instant;
+
+use egi_bench::fixture_ecg;
+use egi_core::{EnsembleConfig, EnsembleDetector};
+use egi_discord::dist::WindowStats;
+use egi_discord::mass::{mass_self, MassPrecomputed, MassScratch};
+use egi_discord::stamp::{stamp_per_query_fft, stamp_with_exclusion};
+use egi_discord::stomp::stomp_with_exclusion;
+
+fn seconds<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64(), out)
+}
+
+/// Faithful re-creation of the pre-PR FFT path — full complex buffers,
+/// per-call trigonometric recurrence (no cached plan), convolution with
+/// the reversed query sized `next_pow2(m + n − 1)` — so the recorded
+/// baseline stays the true seed wall-clock even as the library paths
+/// improve.
+mod seed_baseline {
+    type Complex = (f64, f64);
+
+    fn c_mul(a: Complex, b: Complex) -> Complex {
+        (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+    }
+
+    fn fft_in_place(buf: &mut [Complex], inverse: bool) {
+        let n = buf.len();
+        if n <= 1 {
+            return;
+        }
+        let mut j = 0usize;
+        for i in 1..n {
+            let mut bit = n >> 1;
+            while j & bit != 0 {
+                j ^= bit;
+                bit >>= 1;
+            }
+            j |= bit;
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+        let sign = if inverse { 1.0 } else { -1.0 };
+        let mut len = 2;
+        while len <= n {
+            let ang = sign * std::f64::consts::TAU / len as f64;
+            let wlen = (ang.cos(), ang.sin());
+            let mut i = 0;
+            while i < n {
+                let mut w: Complex = (1.0, 0.0);
+                for k in 0..len / 2 {
+                    let u = buf[i + k];
+                    let v = c_mul(buf[i + k + len / 2], w);
+                    buf[i + k] = (u.0 + v.0, u.1 + v.1);
+                    buf[i + k + len / 2] = (u.0 - v.0, u.1 - v.1);
+                    w = c_mul(w, wlen);
+                }
+                i += len;
+            }
+            len <<= 1;
+        }
+    }
+
+    pub fn sliding_dot_products(query: &[f64], series: &[f64]) -> Vec<f64> {
+        let m = query.len();
+        let n = series.len();
+        let out_len = m + n - 1;
+        let size = out_len.next_power_of_two();
+        let mut fa: Vec<Complex> = query.iter().rev().map(|&x| (x, 0.0)).collect();
+        let mut fb: Vec<Complex> = series.iter().map(|&x| (x, 0.0)).collect();
+        fa.resize(size, (0.0, 0.0));
+        fb.resize(size, (0.0, 0.0));
+        fft_in_place(&mut fa, false);
+        fft_in_place(&mut fb, false);
+        for (x, y) in fa.iter_mut().zip(&fb) {
+            *x = c_mul(*x, *y);
+        }
+        fft_in_place(&mut fa, true);
+        let scale = 1.0 / size as f64;
+        (m - 1..n).map(|i| fa[i].0 * scale).collect()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_discord.json".to_string());
+
+    let (series_len, m, mass_queries) = if quick {
+        (4_000, 64, 50)
+    } else {
+        (20_000, 256, 200)
+    };
+    let series = fixture_ecg(series_len, 8);
+    let exclusion = m / 2;
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    eprintln!("fixture: ECG {series_len} points, m={m}, {cores} cores");
+
+    // MASS: K queries — seed path, improved per-query path, shared
+    // spectrum.
+    let ws = WindowStats::new(&series, m);
+    let count = ws.count();
+    let stride = (count / mass_queries).max(1);
+    let queries: Vec<usize> = (0..count).step_by(stride).take(mass_queries).collect();
+    let (mass_seed_secs, seed_sum) = seconds(|| {
+        let mut acc = 0.0;
+        for &q in &queries {
+            let dots = seed_baseline::sliding_dot_products(&series[q..q + m], &series);
+            acc += dots
+                .iter()
+                .enumerate()
+                .map(|(j, &qt)| ws.dist(q, j, qt))
+                .sum::<f64>();
+        }
+        acc
+    });
+    let (mass_naive_secs, naive_sum) = seconds(|| {
+        let mut acc = 0.0;
+        for &q in &queries {
+            acc += mass_self(&series, q, &ws).iter().sum::<f64>();
+        }
+        acc
+    });
+    let (mass_pre_secs, pre_sum) = seconds(|| {
+        let pre = MassPrecomputed::new(&series, m);
+        let mut scratch = MassScratch::default();
+        let mut dp = Vec::new();
+        let mut acc = 0.0;
+        for &q in &queries {
+            pre.distance_profile_into(q, &mut scratch, &mut dp);
+            acc += dp.iter().sum::<f64>();
+        }
+        acc
+    });
+    assert!(
+        (naive_sum - pre_sum).abs() < 1e-4 * (1.0 + naive_sum.abs()),
+        "MASS paths disagree: {naive_sum} vs {pre_sum}"
+    );
+    assert!(
+        (seed_sum - pre_sum).abs() < 1e-4 * (1.0 + seed_sum.abs()),
+        "MASS seed path disagrees: {seed_sum} vs {pre_sum}"
+    );
+    eprintln!(
+        "MASS   {} queries: seed {mass_seed_secs:.3}s, per-query rfft {mass_naive_secs:.3}s, \
+         shared-spectrum {mass_pre_secs:.3}s ({:.2}x vs seed)",
+        queries.len(),
+        mass_seed_secs / mass_pre_secs
+    );
+
+    // STAMP: full matrix profile. The seed-path run is extrapolated from
+    // the per-query MASS timing above (the full seed run at 20k points
+    // takes ~2 minutes and measures the identical inner loop), unless
+    // --full-seed is passed.
+    let full_seed = std::env::args().any(|a| a == "--full-seed");
+    let stamp_seed_secs = if full_seed {
+        let (secs, _) = seconds(|| {
+            let mut profile = vec![f64::INFINITY; count];
+            for q in 0..count {
+                let dots = seed_baseline::sliding_dot_products(&series[q..q + m], &series);
+                for (j, &qt) in dots.iter().enumerate() {
+                    if q.abs_diff(j) <= exclusion {
+                        continue;
+                    }
+                    let d = ws.dist(q, j, qt);
+                    if d < profile[q] {
+                        profile[q] = d;
+                    }
+                    if d < profile[j] {
+                        profile[j] = d;
+                    }
+                }
+            }
+            profile
+        });
+        secs
+    } else {
+        mass_seed_secs / queries.len() as f64 * count as f64
+    };
+    let (stamp_naive_secs, naive_mp) = seconds(|| stamp_per_query_fft(&series, m, exclusion));
+    let (stamp_fast_secs, fast_mp) = seconds(|| stamp_with_exclusion(&series, m, exclusion));
+    let max_dev = naive_mp
+        .profile
+        .iter()
+        .zip(&fast_mp.profile)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(max_dev < 1e-6, "STAMP paths deviate by {max_dev}");
+    eprintln!(
+        "STAMP  full: seed {stamp_seed_secs:.3}s{}, per-query rfft {stamp_naive_secs:.3}s, \
+         shared-spectrum {stamp_fast_secs:.3}s ({:.2}x vs seed, {:.2}x vs rfft)",
+        if full_seed { "" } else { " (extrapolated)" },
+        stamp_seed_secs / stamp_fast_secs,
+        stamp_naive_secs / stamp_fast_secs
+    );
+
+    // STOMP: diagonal kernel across worker counts.
+    let mut stomp_rows = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let (secs, mp) = seconds(|| pool.install(|| stomp_with_exclusion(&series, m, exclusion)));
+        assert_eq!(mp.len(), count);
+        eprintln!("STOMP  {threads} worker(s): {secs:.3}s");
+        stomp_rows.push(format!(
+            "    {{ \"threads\": {threads}, \"secs\": {secs:.6} }}"
+        ));
+    }
+
+    // Ensemble detection: serial vs parallel members.
+    let (ens_len, ens_window, ens_members) = if quick {
+        (8_000, 128, 10)
+    } else {
+        (40_000, 300, 25)
+    };
+    let ens_series = fixture_ecg(ens_len, 9);
+    let config = |parallel| EnsembleConfig {
+        window: ens_window,
+        ensemble_size: ens_members,
+        parallel,
+        ..EnsembleConfig::default()
+    };
+    let (ens_serial_secs, serial_report) =
+        seconds(|| EnsembleDetector::new(config(false)).detect(&ens_series, 3, 1));
+    let (ens_parallel_secs, parallel_report) =
+        seconds(|| EnsembleDetector::new(config(true)).detect(&ens_series, 3, 1));
+    assert_eq!(serial_report, parallel_report, "ensemble paths disagree");
+    eprintln!(
+        "ENSEMBLE {ens_len} pts, {ens_members} members: serial {ens_serial_secs:.3}s, parallel {ens_parallel_secs:.3}s"
+    );
+
+    let json = format!(
+        "{{\n  \"suite\": \"discord-perf\",\n  \"quick\": {quick},\n  \"host_cores\": {cores},\n  \
+         \"mass\": {{\n    \"series_len\": {series_len},\n    \"m\": {m},\n    \"queries\": {nq},\n    \
+         \"seed_per_query_fft_secs\": {mass_seed_secs:.6},\n    \
+         \"per_query_rfft_secs\": {mass_naive_secs:.6},\n    \"shared_spectrum_secs\": {mass_pre_secs:.6},\n    \
+         \"speedup_vs_seed\": {mass_speedup:.3}\n  }},\n  \
+         \"stamp\": {{\n    \"series_len\": {series_len},\n    \"m\": {m},\n    \
+         \"seed_per_query_fft_secs\": {stamp_seed_secs:.6},\n    \"seed_extrapolated\": {seed_extrapolated},\n    \
+         \"per_query_rfft_secs\": {stamp_naive_secs:.6},\n    \"shared_spectrum_secs\": {stamp_fast_secs:.6},\n    \
+         \"speedup_vs_seed\": {stamp_speedup:.3},\n    \"speedup_vs_rfft\": {stamp_speedup_rfft:.3}\n  }},\n  \
+         \"stomp\": {{\n    \"series_len\": {series_len},\n    \"m\": {m},\n    \"runs\": [\n{stomp_rows}\n    ]\n  }},\n  \
+         \"ensemble\": {{\n    \"series_len\": {ens_len},\n    \"window\": {ens_window},\n    \
+         \"members\": {ens_members},\n    \"serial_secs\": {ens_serial_secs:.6},\n    \
+         \"parallel_secs\": {ens_parallel_secs:.6}\n  }}\n}}\n",
+        nq = queries.len(),
+        mass_speedup = mass_seed_secs / mass_pre_secs,
+        seed_extrapolated = !full_seed,
+        stamp_speedup = stamp_seed_secs / stamp_fast_secs,
+        stamp_speedup_rfft = stamp_naive_secs / stamp_fast_secs,
+        stomp_rows = stomp_rows.join(",\n"),
+    );
+    std::fs::write(&out_path, json).expect("write bench json");
+    eprintln!("wrote {out_path}");
+}

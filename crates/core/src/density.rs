@@ -52,6 +52,20 @@ impl RuleDensityCurve {
         Self { values }
     }
 
+    /// Full grammar-induction pipeline from a token sequence: intern →
+    /// Sequitur → density build. Returns an all-zero curve for an empty
+    /// token sequence (series shorter than the window).
+    pub fn from_tokens(nr: &NumerosityReduced, series_len: usize) -> Self {
+        if nr.is_empty() {
+            return Self {
+                values: vec![0.0; series_len],
+            };
+        }
+        let tokens = crate::intern::intern_tokens(nr);
+        let grammar = egi_sequitur::induce(tokens);
+        Self::build(&grammar, nr, series_len)
+    }
+
     /// Curve length (= series length).
     pub fn len(&self) -> usize {
         self.values.len()
@@ -118,7 +132,10 @@ mod tests {
     /// Builds an NR sequence where token i sits at offset i (no runs).
     fn identity_nr(words: &[u32], window: usize) -> NumerosityReduced {
         numerosity_reduce(
-            words.iter().map(|&w| SaxWord(vec![w as u8, (w >> 8) as u8])).collect(),
+            words
+                .iter()
+                .map(|&w| SaxWord(vec![w as u8, (w >> 8) as u8]))
+                .collect(),
             window,
         )
     }

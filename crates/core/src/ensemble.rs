@@ -4,12 +4,11 @@
 //! random distinct parameter pairs, score each member's rule density curve
 //! by its standard deviation, keep the top `τ·N` curves, normalize each to
 //! `[0, 1]` by its maximum, and combine point-wise with the median. Members
-//! share the prefix-sum statistics and the merged breakpoint table, so the
-//! whole ensemble stays linear in the series length; members execute on a
-//! thread pool (`crossbeam::scope`) since they are fully independent.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+//! share the prefix-sum statistics, the merged breakpoint table, *and* the
+//! PAA coefficient streams (members differing only in alphabet `a` reuse
+//! the same stream), so the whole ensemble stays linear in the series
+//! length; members execute through the rayon-style runtime in
+//! [`crate::runtime`] since they are fully independent.
 
 use egi_sax::{FastSax, MultiResBreakpoints, SaxConfig};
 use rand::rngs::StdRng;
@@ -18,7 +17,7 @@ use rand::SeedableRng;
 
 use crate::density::RuleDensityCurve;
 use crate::detector::{rank_anomalies, AnomalyReport};
-use crate::single::{GiConfig, SingleGiDetector};
+use crate::runtime::{compute_member_curves, MemberJob};
 
 /// How the kept, normalized curves are merged into one.
 ///
@@ -129,7 +128,10 @@ impl EnsembleDetector {
     pub fn new(config: EnsembleConfig) -> Self {
         assert!(config.window >= 2, "window must be at least 2");
         assert!(config.ensemble_size > 0, "ensemble size must be positive");
-        assert!(config.wmax >= 2 && config.amax >= 2, "wmax/amax must be ≥ 2");
+        assert!(
+            config.wmax >= 2 && config.amax >= 2,
+            "wmax/amax must be ≥ 2"
+        );
         assert!(
             config.selectivity > 0.0 && config.selectivity <= 1.0,
             "selectivity must be in (0, 1]"
@@ -158,47 +160,21 @@ impl EnsembleDetector {
 
     /// Computes one rule density curve per member parameter pair.
     ///
-    /// Curves come back in `params` order regardless of scheduling.
+    /// Curves come back in `params` order regardless of scheduling, and
+    /// parallel execution is bit-identical to serial. Members sharing a
+    /// PAA size `w` share one precomputed coefficient stream (see
+    /// [`crate::runtime`]).
     pub fn member_curves(&self, series: &[f64], params: &[SaxConfig]) -> Vec<RuleDensityCurve> {
         let fast = FastSax::new(series);
         let multi = MultiResBreakpoints::new(self.config.amax);
-        let run = |cfg: SaxConfig| {
-            SingleGiDetector::new(GiConfig {
+        let jobs: Vec<MemberJob> = params
+            .iter()
+            .map(|&sax| MemberJob {
                 window: self.config.window,
-                sax: cfg,
+                sax,
             })
-            .density_curve(&fast, &multi)
-        };
-
-        let threads = if self.config.parallel {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
-        } else {
-            1
-        };
-        if threads <= 1 || params.len() < 2 {
-            return params.iter().map(|&cfg| run(cfg)).collect();
-        }
-
-        let next = AtomicUsize::new(0);
-        let results: Vec<Mutex<Option<RuleDensityCurve>>> =
-            params.iter().map(|_| Mutex::new(None)).collect();
-        crossbeam::thread::scope(|s| {
-            for _ in 0..threads.min(params.len()) {
-                s.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= params.len() {
-                        break;
-                    }
-                    let curve = run(params[i]);
-                    *results[i].lock().expect("no poisoning: run cannot panic") = Some(curve);
-                });
-            }
-        })
-        .expect("ensemble worker panicked");
-        results
-            .into_iter()
-            .map(|m| m.into_inner().expect("lock poisoned").expect("slot filled"))
-            .collect()
+            .collect();
+        compute_member_curves(&fast, &multi, &jobs, self.config.parallel)
     }
 
     /// Algorithm 1: builds the ensemble rule density curve.
@@ -229,10 +205,8 @@ impl EnsembleDetector {
             .clamp(1, curves.len());
 
         // Normalize the kept curves (line 11).
-        let mut kept: Vec<RuleDensityCurve> = order[..keep]
-            .iter()
-            .map(|&i| curves[i].clone())
-            .collect();
+        let mut kept: Vec<RuleDensityCurve> =
+            order[..keep].iter().map(|&i| curves[i].clone()).collect();
         for c in kept.iter_mut() {
             c.normalize_by_max();
         }
@@ -402,9 +376,15 @@ mod tests {
         });
         // Three curves that all vanish at point 2.
         let curves = vec![
-            RuleDensityCurve { values: vec![2.0, 4.0, 0.0, 2.0] },
-            RuleDensityCurve { values: vec![1.0, 2.0, 0.0, 1.0] },
-            RuleDensityCurve { values: vec![3.0, 3.0, 0.0, 3.0] },
+            RuleDensityCurve {
+                values: vec![2.0, 4.0, 0.0, 2.0],
+            },
+            RuleDensityCurve {
+                values: vec![1.0, 2.0, 0.0, 1.0],
+            },
+            RuleDensityCurve {
+                values: vec![3.0, 3.0, 0.0, 3.0],
+            },
         ];
         let combined = det.combine_curves(curves);
         assert_eq!(combined.values[2], 0.0);
@@ -421,8 +401,12 @@ mod tests {
         // One informative curve (high std) and one flat curve. τ = 50%
         // keeps only the informative one.
         let curves = vec![
-            RuleDensityCurve { values: vec![4.0, 4.0, 4.0, 4.0] }, // flat
-            RuleDensityCurve { values: vec![4.0, 0.0, 4.0, 4.0] }, // dip
+            RuleDensityCurve {
+                values: vec![4.0, 4.0, 4.0, 4.0],
+            }, // flat
+            RuleDensityCurve {
+                values: vec![4.0, 0.0, 4.0, 4.0],
+            }, // dip
         ];
         let combined = det.combine_curves(curves);
         // The kept curve normalized: [1, 0, 1, 1].

@@ -14,6 +14,9 @@
 //! * [`ensemble`] — **Algorithm 1**: N randomized `(w, a)` runs, standard
 //!   deviation filtering (keep top τ·N curves), max-normalization, and
 //!   point-wise median combination.
+//! * [`runtime`] — the ensemble execution runtime: PAA-stream
+//!   deduplication across members plus rayon-style parallelism with
+//!   order-preserving (bit-deterministic) collection.
 //! * [`select`] — the GI-Select parameter-search baseline (Section 7.1.3).
 //! * [`multiwindow`] — an extension beyond the paper: ensemble over
 //!   several sliding-window lengths, reporting variable-length anomalies.
@@ -26,6 +29,7 @@ pub mod detector;
 pub mod ensemble;
 pub mod intern;
 pub mod multiwindow;
+pub mod runtime;
 pub mod select;
 pub mod single;
 

@@ -18,6 +18,8 @@
 use crate::density::RuleDensityCurve;
 use crate::detector::{rank_anomalies, AnomalyReport, Candidate};
 use crate::ensemble::{EnsembleConfig, EnsembleDetector};
+use crate::runtime::{compute_member_curves, MemberJob};
+use egi_sax::{FastSax, MultiResBreakpoints};
 use egi_tskit::window::intervals_overlap;
 
 /// Configuration of the multi-window extension.
@@ -48,7 +50,10 @@ impl MultiWindowEnsemble {
     ///
     /// Panics when `windows` is empty or contains a length < 2.
     pub fn new(config: MultiWindowConfig) -> Self {
-        assert!(!config.windows.is_empty(), "need at least one window length");
+        assert!(
+            !config.windows.is_empty(),
+            "need at least one window length"
+        );
         assert!(
             config.windows.iter().all(|&w| w >= 2),
             "window lengths must be ≥ 2"
@@ -62,8 +67,19 @@ impl MultiWindowEnsemble {
     }
 
     /// One normalized ensemble curve per window length, in input order.
+    ///
+    /// All member runs across *all* window lengths are flattened into a
+    /// single parallel batch (one shared [`FastSax`], one shared
+    /// breakpoint table, PAA streams deduplicated per `(window, w)`), so
+    /// the multi-window ensemble parallelizes across window lengths and
+    /// members at once instead of processing windows one after another.
     pub fn window_curves(&self, series: &[f64], seed: u64) -> Vec<RuleDensityCurve> {
-        self.config
+        let fast = FastSax::new(series);
+        let multi = MultiResBreakpoints::new(self.config.base.amax);
+
+        // Per-window detectors and their (decorrelated) member draws.
+        let members: Vec<(EnsembleDetector, Vec<egi_sax::SaxConfig>)> = self
+            .config
             .windows
             .iter()
             .enumerate()
@@ -73,11 +89,32 @@ impl MultiWindowEnsemble {
                     ..self.config.base
                 });
                 // Decorrelate member draws across window lengths.
-                let mut curve = det.ensemble_curve(series, seed ^ ((i as u64 + 1) << 48));
+                let params = det.member_params(seed ^ ((i as u64 + 1) << 48));
+                (det, params)
+            })
+            .collect();
+
+        // One flattened batch of member jobs over every window length.
+        let jobs: Vec<MemberJob> = members
+            .iter()
+            .flat_map(|(det, params)| {
+                let window = det.config().window;
+                params.iter().map(move |&sax| MemberJob { window, sax })
+            })
+            .collect();
+        let mut curves =
+            compute_member_curves(&fast, &multi, &jobs, self.config.base.parallel).into_iter();
+
+        members
+            .iter()
+            .map(|(det, params)| {
+                let member_curves: Vec<RuleDensityCurve> =
+                    curves.by_ref().take(params.len()).collect();
+                let mut curve = det.combine_curves(member_curves);
                 // Level the series edges before normalizing: boundary
                 // points are covered by fewer windows and would otherwise
                 // masquerade as anomalies in the global ranking.
-                curve.correct_edge_coverage(w);
+                curve.correct_edge_coverage(det.config().window);
                 curve.normalize_by_max();
                 curve
             })

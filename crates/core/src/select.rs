@@ -131,7 +131,10 @@ mod tests {
         let fnz = FastSax::new(&noise);
         let sp = compression_score(&fp, 40, cfg, &multi);
         let sn = compression_score(&fnz, 40, cfg, &multi);
-        assert!(sp > sn, "periodic {sp} not more compressible than noise {sn}");
+        assert!(
+            sp > sn,
+            "periodic {sp} not more compressible than noise {sn}"
+        );
     }
 
     #[test]

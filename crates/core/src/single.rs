@@ -7,11 +7,9 @@
 //! GI-Fix / GI-Random / GI-Select baselines.
 
 use egi_sax::{discretize_series, FastSax, MultiResBreakpoints, SaxConfig};
-use egi_sequitur::induce;
 
 use crate::density::RuleDensityCurve;
 use crate::detector::{rank_anomalies, AnomalyReport};
-use crate::intern::intern_tokens;
 
 /// Configuration of a single grammar-induction run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,14 +69,7 @@ impl SingleGiDetector {
         multi: &MultiResBreakpoints,
     ) -> RuleDensityCurve {
         let nr = discretize_series(fast, self.config.window, self.config.sax, multi);
-        if nr.is_empty() {
-            return RuleDensityCurve {
-                values: vec![0.0; fast.len()],
-            };
-        }
-        let tokens = intern_tokens(&nr);
-        let grammar = induce(tokens);
-        RuleDensityCurve::build(&grammar, &nr, fast.len())
+        RuleDensityCurve::from_tokens(&nr, fast.len())
     }
 
     /// Full detection: density curve → top-`k` non-overlapping minima.
@@ -109,7 +100,11 @@ mod tests {
     use egi_tskit::gen::ecg::{ecg_beat, EcgParams};
 
     /// A repetitive beat train with one ectopic beat in the middle.
-    fn beat_train_with_anomaly(beats: usize, beat_len: usize, anomaly_at: usize) -> (Vec<f64>, usize) {
+    fn beat_train_with_anomaly(
+        beats: usize,
+        beat_len: usize,
+        anomaly_at: usize,
+    ) -> (Vec<f64>, usize) {
         let normal = ecg_beat(beat_len, &EcgParams::default());
         let weird = ecg_beat(beat_len, &EcgParams::ectopic());
         let mut series = Vec::with_capacity(beats * beat_len);
@@ -153,8 +148,7 @@ mod tests {
         let report = det.detect(&series, 1);
         // Mean density inside the ground-truth interval must be below the
         // overall mean (anomaly = low coverage).
-        let inside: f64 =
-            report.curve[gt..gt + beat_len].iter().sum::<f64>() / beat_len as f64;
+        let inside: f64 = report.curve[gt..gt + beat_len].iter().sum::<f64>() / beat_len as f64;
         let overall: f64 = report.curve.iter().sum::<f64>() / report.curve.len() as f64;
         assert!(
             inside < overall,

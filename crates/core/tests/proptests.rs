@@ -1,8 +1,6 @@
 //! Property-based tests for the detection core.
 
-use egi_core::{
-    rank_anomalies, Combiner, EnsembleConfig, EnsembleDetector, RuleDensityCurve,
-};
+use egi_core::{rank_anomalies, Combiner, EnsembleConfig, EnsembleDetector, RuleDensityCurve};
 use egi_tskit::window::intervals_overlap;
 use proptest::prelude::*;
 

@@ -76,7 +76,9 @@ mod tests {
     #[test]
     fn planted_outlier_has_max_profile() {
         // Repeating sine with one corrupted window.
-        let mut series: Vec<f64> = (0..120).map(|i| (i as f64 * std::f64::consts::TAU / 12.0).sin()).collect();
+        let mut series: Vec<f64> = (0..120)
+            .map(|i| (i as f64 * std::f64::consts::TAU / 12.0).sin())
+            .collect();
         for (off, v) in series[60..72].iter_mut().enumerate() {
             *v = if off % 2 == 0 { 2.5 } else { -2.5 };
         }

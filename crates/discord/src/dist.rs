@@ -107,7 +107,9 @@ mod tests {
     /// accounts for it explicitly.
     #[test]
     fn identity_matches_direct_distance() {
-        let series: Vec<f64> = (0..60).map(|i| (i as f64 * 0.9).sin() * 3.0 + i as f64 * 0.01).collect();
+        let series: Vec<f64> = (0..60)
+            .map(|i| (i as f64 * 0.9).sin() * 3.0 + i as f64 * 0.01)
+            .collect();
         let m = 12;
         let ws = WindowStats::new(&series, m);
         for &(i, j) in &[(0usize, 30usize), (5, 17), (20, 40)] {

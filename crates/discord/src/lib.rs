@@ -4,16 +4,24 @@
 //! discords*: the subsequences with the largest one-nearest-neighbor
 //! distance. This crate implements that whole family from scratch:
 //!
-//! * [`fft`] — an in-house radix-2 FFT (no external DSP crates), used by
-//!   the MASS distance-profile algorithm.
+//! * [`fft`] — an in-house radix-2 FFT (no external DSP crates) with
+//!   cached plans ([`fft::FftPlan`]: precomputed twiddle factors +
+//!   bit-reversal tables) and real-input packing ([`fft::RealFftPlan`]:
+//!   a length-`n` real transform as a length-`n/2` complex one).
 //! * [`dist`] — z-normalized Euclidean distances and the dot-product
 //!   identity `d² = 2m(1 − (QT − m·μ_q·μ_t)/(m·σ_q·σ_t))`.
-//! * [`mass`] — MASS: one query's distance profile in `O(N log N)`.
+//! * [`mass`] — MASS: one query's distance profile in `O(N log N)`, and
+//!   [`mass::MassPrecomputed`] — the shared-spectrum fast path that
+//!   transforms the series once and answers every query against the
+//!   cached spectrum.
 //! * [`profile`] — the matrix profile type plus discord extraction.
 //! * [`brute`] — `O(N²·m)` reference matrix profile (test oracle).
 //! * [`mod@stomp`] — STOMP \[23\]: `O(N²)` matrix profile with incremental dot
-//!   products; the implementation the paper benchmarks against (Fig. 8).
-//! * [`mod@stamp`] — STAMP \[21\]: MASS-per-query matrix profile.
+//!   products, traversed by diagonals and parallelized with rayon
+//!   (bit-deterministic for every thread count); the implementation the
+//!   paper benchmarks against (Fig. 8).
+//! * [`mod@stamp`] — STAMP \[21\]: MASS-per-query matrix profile, running on
+//!   the shared spectrum.
 //! * [`hotsax`] — the original HOTSAX discord search \[9\] with SAX-bucket
 //!   outer-loop ordering and early abandoning.
 //! * [`detector`] — [`DiscordDetector`]: the "Discord" baseline of the
@@ -33,7 +41,9 @@ pub mod stamp;
 pub mod stomp;
 
 pub use detector::{DiscordConfig, DiscordDetector};
+pub use fft::{FftPlan, RealFftPlan};
 pub use hotsax::{hotsax_discord, hotsax_discords};
+pub use mass::{MassPrecomputed, MassScratch};
 pub use profile::{Discord, MatrixProfile};
 pub use stamp::stamp;
 pub use stomp::stomp;

@@ -3,9 +3,20 @@
 //! Computes the full distance profile of one query window against every
 //! window of a series in `O(N log N)`: sliding dot products via FFT, then
 //! the z-normalized distance identity per window.
+//!
+//! Two paths are provided:
+//!
+//! * [`mass_self`] / [`mass`] — the straightforward per-call path: every
+//!   invocation transforms the full series again. Kept as the executable
+//!   specification (and the bench baseline).
+//! * [`MassPrecomputed`] — the shared-spectrum path: the series is padded
+//!   and transformed **once** at construction; each query then costs one
+//!   forward and one inverse *half-size real* transform against the
+//!   cached spectrum, instead of the three full transforms the naive
+//!   path pays. STAMP and STOMP's seed row run through this.
 
 use crate::dist::WindowStats;
-use crate::fft::sliding_dot_products;
+use crate::fft::{c_conj, c_mul, next_pow2, sliding_dot_products, Complex, RealFftPlan};
 
 /// Distance profile of `series[q..q+m]` against all windows of `series`.
 ///
@@ -57,6 +68,131 @@ pub fn mass(query: &[f64], series: &[f64]) -> Vec<f64> {
         .collect()
 }
 
+/// Reusable per-query buffers for [`MassPrecomputed`], so a query loop
+/// (STAMP) allocates nothing after warm-up.
+#[derive(Debug, Default, Clone)]
+pub struct MassScratch {
+    padded: Vec<f64>,
+    spec: Vec<Complex>,
+    fft: Vec<Complex>,
+    corr: Vec<f64>,
+}
+
+/// Shared-spectrum MASS: one series transform amortized over all
+/// queries.
+///
+/// Construction pads the series to the next power of two, runs a single
+/// packed-real forward FFT, and caches the spectrum plus the per-window
+/// statistics. [`MassPrecomputed::distance_profile_into`] then answers
+/// each self-join query with one half-size forward transform of the
+/// padded query, a pointwise conjugate multiply against the cached
+/// spectrum, and one half-size inverse transform — the cross-correlation
+/// theorem — followed by the `O(1)`-per-window distance identity.
+#[derive(Debug, Clone)]
+pub struct MassPrecomputed {
+    series: Vec<f64>,
+    m: usize,
+    size: usize,
+    plan: RealFftPlan,
+    series_spec: Vec<Complex>,
+    stats: WindowStats,
+}
+
+impl MassPrecomputed {
+    /// Builds the cached spectrum and window statistics for self-join
+    /// queries of length `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `m > series.len()`.
+    pub fn new(series: &[f64], m: usize) -> Self {
+        let stats = WindowStats::new(series, m);
+        let size = next_pow2(series.len()).max(2);
+        let plan = RealFftPlan::new(size);
+        let mut padded = vec![0.0; size];
+        padded[..series.len()].copy_from_slice(series);
+        let mut series_spec = Vec::new();
+        let mut fft_scratch = Vec::new();
+        plan.forward_into(&padded, &mut series_spec, &mut fft_scratch);
+        Self {
+            series: series.to_vec(),
+            m,
+            size,
+            plan,
+            series_spec,
+            stats,
+        }
+    }
+
+    /// Window length `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of sliding windows (profile length).
+    pub fn window_count(&self) -> usize {
+        self.stats.count()
+    }
+
+    /// The cached per-window statistics.
+    pub fn stats(&self) -> &WindowStats {
+        &self.stats
+    }
+
+    /// The underlying series.
+    pub fn series(&self) -> &[f64] {
+        &self.series
+    }
+
+    /// Sliding dot products of window `q` against every window, written
+    /// into `out` (cleared and filled to [`window_count`] values).
+    ///
+    /// [`window_count`]: MassPrecomputed::window_count
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not a valid window start.
+    pub fn sliding_dots_into(&self, q: usize, scratch: &mut MassScratch, out: &mut Vec<f64>) {
+        let count = self.window_count();
+        assert!(q < count, "query start {q} out of range ({count} windows)");
+        let query = &self.series[q..q + self.m];
+        scratch.padded.clear();
+        scratch.padded.resize(self.size, 0.0);
+        scratch.padded[..self.m].copy_from_slice(query);
+        self.plan
+            .forward_into(&scratch.padded, &mut scratch.spec, &mut scratch.fft);
+        // Cross-correlation: IDFT(conj(Q) · S); lags 0 ..= n − m are
+        // untouched by the circular wrap. Same c_mul/c_conj as
+        // `sliding_dot_products`, so the two paths stay bit-identical.
+        for (qs, ss) in scratch.spec.iter_mut().zip(&self.series_spec) {
+            *qs = c_mul(c_conj(*qs), *ss);
+        }
+        self.plan
+            .inverse_into(&scratch.spec, &mut scratch.corr, &mut scratch.fft);
+        out.clear();
+        out.extend_from_slice(&scratch.corr[..count]);
+    }
+
+    /// Distance profile of window `q` against every window, written into
+    /// `out`. Matches [`mass_self`] to ~1e-9 (the property tests pin the
+    /// two paths together). No exclusion is applied.
+    pub fn distance_profile_into(&self, q: usize, scratch: &mut MassScratch, out: &mut Vec<f64>) {
+        self.sliding_dots_into(q, scratch, out);
+        for (j, qt) in out.iter_mut().enumerate() {
+            *qt = self.stats.dist(q, j, *qt);
+        }
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`MassPrecomputed::distance_profile_into`].
+    pub fn distance_profile(&self, q: usize) -> Vec<f64> {
+        let mut scratch = MassScratch::default();
+        let mut out = Vec::new();
+        self.distance_profile_into(q, &mut scratch, &mut out);
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,7 +200,9 @@ mod tests {
 
     #[test]
     fn self_profile_has_zero_at_query() {
-        let series: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() + 0.1 * (i as f64 * 1.7).cos()).collect();
+        let series: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 0.37).sin() + 0.1 * (i as f64 * 1.7).cos())
+            .collect();
         let m = 10;
         let stats = WindowStats::new(&series, m);
         let dp = mass_self(&series, 25, &stats);
@@ -111,5 +249,77 @@ mod tests {
         let series = vec![3.0; 30];
         let dp = mass(&[3.0; 5], &series);
         assert!(dp.iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn precomputed_matches_mass_self() {
+        let series: Vec<f64> = (0..200)
+            .map(|i| (i as f64 * 0.23).sin() * 1.5 + ((i * 17) % 5) as f64 * 0.2)
+            .collect();
+        for &m in &[3usize, 8, 25] {
+            let stats = WindowStats::new(&series, m);
+            let pre = MassPrecomputed::new(&series, m);
+            assert_eq!(pre.window_count(), stats.count());
+            for q in [0, 7, 100, stats.count() - 1] {
+                let naive = mass_self(&series, q, &stats);
+                let fast = pre.distance_profile(q);
+                assert_eq!(naive.len(), fast.len());
+                for (j, (a, b)) in naive.iter().zip(&fast).enumerate() {
+                    assert!((a - b).abs() < 1e-9, "m={m} q={q} j={j}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn precomputed_sliding_dots_match_direct() {
+        let series: Vec<f64> = (0..73).map(|i| ((i * i) as f64 * 0.01).sin()).collect();
+        let m = 9;
+        let pre = MassPrecomputed::new(&series, m);
+        let mut scratch = MassScratch::default();
+        let mut dots = Vec::new();
+        for q in [0usize, 31, 64] {
+            pre.sliding_dots_into(q, &mut scratch, &mut dots);
+            for j in 0..dots.len() {
+                let direct: f64 = series[q..q + m]
+                    .iter()
+                    .zip(&series[j..j + m])
+                    .map(|(x, y)| x * y)
+                    .sum();
+                assert!((dots[j] - direct).abs() < 1e-8, "q={q} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn precomputed_handles_tiny_series() {
+        let series = [1.0, 2.0, 0.5];
+        let pre = MassPrecomputed::new(&series, 3);
+        let dp = pre.distance_profile(0);
+        assert_eq!(dp.len(), 1);
+        assert!(dp[0].abs() < 1e-9);
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean() {
+        // A scratch used for a long query loop must not leak state
+        // between queries.
+        let series: Vec<f64> = (0..120).map(|i| (i as f64 * 0.61).cos()).collect();
+        let pre = MassPrecomputed::new(&series, 11);
+        let mut scratch = MassScratch::default();
+        let mut out = Vec::new();
+        pre.distance_profile_into(5, &mut scratch, &mut out);
+        let first = out.clone();
+        pre.distance_profile_into(90, &mut scratch, &mut out);
+        pre.distance_profile_into(5, &mut scratch, &mut out);
+        assert_eq!(first, out);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn query_out_of_range_panics() {
+        let series = vec![0.0, 1.0, 2.0, 3.0];
+        let pre = MassPrecomputed::new(&series, 2);
+        pre.distance_profile(3);
     }
 }

@@ -4,35 +4,32 @@
 //! Slower asymptotically than STOMP but embarrassingly simple and anytime
 //! (profiles converge monotonically as more queries are processed); we use
 //! it as a cross-check of STOMP and in the matrix profile ablation bench.
+//!
+//! The production path runs on [`MassPrecomputed`]: the series spectrum
+//! is transformed once and every query is answered against it with two
+//! half-size real transforms, instead of re-transforming the series per
+//! query. [`stamp_per_query_fft`] preserves the naive
+//! one-`sliding_dot_products`-call-per-query path as the executable
+//! specification and the bench baseline; the two are pinned to agree to
+//! 1e-9 by the property tests.
 
 use crate::dist::WindowStats;
-use crate::mass::mass_self;
+use crate::mass::{mass_self, MassPrecomputed, MassScratch};
 use crate::profile::MatrixProfile;
 use crate::stomp::default_exclusion;
 
 /// Computes the matrix profile via STAMP with exclusion half-width
-/// `exclusion`.
+/// `exclusion`, on the shared-spectrum MASS path.
 pub fn stamp_with_exclusion(series: &[f64], m: usize, exclusion: usize) -> MatrixProfile {
-    let ws = WindowStats::new(series, m);
-    let count = ws.count();
+    let mass = MassPrecomputed::new(series, m);
+    let count = mass.window_count();
     let mut profile = vec![f64::INFINITY; count];
     let mut index = vec![usize::MAX; count];
+    let mut scratch = MassScratch::default();
+    let mut dp = Vec::new();
     for q in 0..count {
-        let dp = mass_self(series, q, &ws);
-        for (j, &d) in dp.iter().enumerate() {
-            if q.abs_diff(j) <= exclusion {
-                continue;
-            }
-            // Update both ends: d(q, j) bounds profile[q] and profile[j].
-            if d < profile[q] {
-                profile[q] = d;
-                index[q] = j;
-            }
-            if d < profile[j] {
-                profile[j] = d;
-                index[j] = q;
-            }
-        }
+        mass.distance_profile_into(q, &mut scratch, &mut dp);
+        update_from_profile(q, &dp, exclusion, &mut profile, &mut index);
     }
     MatrixProfile {
         m,
@@ -45,6 +42,53 @@ pub fn stamp_with_exclusion(series: &[f64], m: usize, exclusion: usize) -> Matri
 /// STAMP with the default `m/2` exclusion zone.
 pub fn stamp(series: &[f64], m: usize) -> MatrixProfile {
     stamp_with_exclusion(series, m, default_exclusion(m))
+}
+
+/// The pre-shared-spectrum STAMP: every query re-transforms the full
+/// series (three full-size FFTs per query via
+/// [`crate::fft::sliding_dot_products`]). Kept as the executable
+/// specification and the baseline the perf suite measures the
+/// shared-spectrum speedup against.
+pub fn stamp_per_query_fft(series: &[f64], m: usize, exclusion: usize) -> MatrixProfile {
+    let ws = WindowStats::new(series, m);
+    let count = ws.count();
+    let mut profile = vec![f64::INFINITY; count];
+    let mut index = vec![usize::MAX; count];
+    for q in 0..count {
+        let dp = mass_self(series, q, &ws);
+        update_from_profile(q, &dp, exclusion, &mut profile, &mut index);
+    }
+    MatrixProfile {
+        m,
+        exclusion,
+        profile,
+        index,
+    }
+}
+
+/// Folds one query's distance profile into the running matrix profile,
+/// updating both ends of every admissible pair.
+fn update_from_profile(
+    q: usize,
+    dp: &[f64],
+    exclusion: usize,
+    profile: &mut [f64],
+    index: &mut [usize],
+) {
+    for (j, &d) in dp.iter().enumerate() {
+        if q.abs_diff(j) <= exclusion {
+            continue;
+        }
+        // Update both ends: d(q, j) bounds profile[q] and profile[j].
+        if d < profile[q] {
+            profile[q] = d;
+            index[q] = j;
+        }
+        if d < profile[j] {
+            profile[j] = d;
+            index[j] = q;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -91,6 +135,24 @@ mod tests {
                     "m={m} i={i}: {} vs {}",
                     a.profile[i],
                     b.profile[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_spectrum_matches_per_query_fft() {
+        let series = test_series(250);
+        for &m in &[5usize, 16] {
+            let fast = stamp_with_exclusion(&series, m, m / 2);
+            let naive = stamp_per_query_fft(&series, m, m / 2);
+            assert_eq!(fast.index, naive.index);
+            for i in 0..fast.len() {
+                assert!(
+                    (fast.profile[i] - naive.profile[i]).abs() < 1e-9,
+                    "m={m} i={i}: {} vs {}",
+                    fast.profile[i],
+                    naive.profile[i]
                 );
             }
         }

@@ -2,13 +2,32 @@
 //! (Zhu et al., "Matrix Profile II", the paper's reference \[23\] and the
 //! Discord baseline implementation used throughout its evaluation).
 //!
-//! Row `i`'s dot products derive from row `i−1`'s in O(1) each:
-//! `QT[i][j] = QT[i−1][j−1] − t[i−1]·t[j−1] + t[i+m−1]·t[j+m−1]`.
-//! Memory stays O(N): one QT row, updated in place right-to-left, plus the
-//! cached first row for the `j = 0` column.
+//! This implementation traverses the distance matrix by **diagonals**
+//! rather than rows. Along diagonal `k` (all pairs `(i, i + k)`), the dot
+//! product updates in O(1):
+//!
+//! ```text
+//! QT(i, i+k) = QT(i−1, i−1+k) − t[i−1]·t[i−1+k] + t[i+m−1]·t[i+k+m−1]
+//! ```
+//!
+//! so each diagonal is an independent O(1)-update chain seeded from the
+//! first QT row — which is computed with one FFT pass
+//! ([`sliding_dot_products`], `O(N log N)`) instead of the `O(N·m)`
+//! direct loop. Independence makes diagonals embarrassingly parallel:
+//! they are chunked and fanned out with rayon, each chunk folding into a
+//! thread-local profile, and chunk results merge under the total order
+//! *(distance, neighbor index)*. Because that merge is commutative and
+//! associative, the output is **bit-identical for every thread count**
+//! (pinned by a property test).
+//!
+//! Compared to the row-sweep formulation the diagonal kernel also
+//! evaluates each unordered pair once — updating both ends — instead of
+//! twice, and walks memory sequentially along both window-stat arrays.
 
 use crate::dist::WindowStats;
+use crate::fft::sliding_dot_products;
 use crate::profile::MatrixProfile;
+use rayon::prelude::*;
 
 /// Default exclusion half-width: `m/2`, the usual matrix profile
 /// convention (trivial matches share more than half their points).
@@ -16,8 +35,50 @@ pub fn default_exclusion(m: usize) -> usize {
     (m / 2).max(1)
 }
 
+/// `(distance, index)` lexicographic improvement: the deterministic
+/// tie-break that makes parallel merging order-independent.
+#[inline]
+fn improves(d: f64, idx: usize, best_d: f64, best_idx: usize) -> bool {
+    d < best_d || (d == best_d && idx < best_idx)
+}
+
+/// One chunk of diagonals folded into a local profile.
+fn process_diagonals(
+    series: &[f64],
+    ws: &WindowStats,
+    qt_first: &[f64],
+    diagonals: std::ops::Range<usize>,
+    profile: &mut [f64],
+    index: &mut [usize],
+) {
+    let count = ws.count();
+    let m = ws.m;
+    for k in diagonals {
+        let mut qt = qt_first[k];
+        for i in 0..count - k {
+            let j = i + k;
+            if i > 0 {
+                qt += series[i + m - 1] * series[j + m - 1] - series[i - 1] * series[j - 1];
+            }
+            let d = ws.dist(i, j, qt);
+            if improves(d, j, profile[i], index[i]) {
+                profile[i] = d;
+                index[i] = j;
+            }
+            if improves(d, i, profile[j], index[j]) {
+                profile[j] = d;
+                index[j] = i;
+            }
+        }
+    }
+}
+
 /// Computes the matrix profile of `series` for window length `m` using
-/// STOMP with exclusion half-width `exclusion`.
+/// diagonal-parallel STOMP with exclusion half-width `exclusion`.
+///
+/// The worker count follows rayon's current configuration
+/// (`ThreadPoolBuilder::install` / `RAYON_NUM_THREADS`); results are
+/// identical for every worker count.
 ///
 /// # Panics
 ///
@@ -28,40 +89,69 @@ pub fn stomp_with_exclusion(series: &[f64], m: usize, exclusion: usize) -> Matri
     let mut profile = vec![f64::INFINITY; count];
     let mut index = vec![usize::MAX; count];
 
-    // First row of QT by direct dot products: O(N·m).
-    let mut qt: Vec<f64> = (0..count)
-        .map(|j| {
-            series[0..m]
-                .iter()
-                .zip(&series[j..j + m])
-                .map(|(x, y)| x * y)
-                .sum()
-        })
-        .collect();
-    // QT[i][0] equals QT[0][i] by symmetry; keep the first row around.
-    let qt_first = qt.clone();
+    // Diagonals 0..=exclusion hold only self-matches; the first
+    // admissible one is exclusion + 1.
+    let first_diag = exclusion + 1;
+    if first_diag < count {
+        // Seed row: QT(0, j) for every j, by FFT instead of O(N·m)
+        // direct dot products.
+        let qt_first = sliding_dot_products(&series[0..m], series);
 
-    let mut update_row = |i: usize, qt: &mut [f64]| {
-        for j in (0..count).rev() {
-            if i.abs_diff(j) <= exclusion {
-                continue;
+        let threads = rayon::current_num_threads();
+        if threads <= 1 {
+            process_diagonals(
+                series,
+                &ws,
+                &qt_first,
+                first_diag..count,
+                &mut profile,
+                &mut index,
+            );
+        } else {
+            // One chunk per worker, cut so each holds ~equal *work*
+            // (diagonal k has count − k cells, so equal-length chunks
+            // would be badly imbalanced). Bounds the transient partial
+            // profiles at O(threads · count) and keeps workers busy.
+            let total_work: usize = (first_diag..count).map(|k| count - k).sum();
+            let per_chunk = total_work.div_ceil(threads).max(1);
+            let mut chunks: Vec<std::ops::Range<usize>> = Vec::with_capacity(threads);
+            let mut start = first_diag;
+            let mut acc = 0usize;
+            for k in first_diag..count {
+                acc += count - k;
+                if acc >= per_chunk || k + 1 == count {
+                    chunks.push(start..k + 1);
+                    start = k + 1;
+                    acc = 0;
+                }
             }
-            let d = ws.dist(i, j, qt[j]);
-            if d < profile[i] {
-                profile[i] = d;
-                index[i] = j;
+            let partials: Vec<(Vec<f64>, Vec<usize>)> = chunks
+                .into_par_iter()
+                .map(|range| {
+                    let mut local_profile = vec![f64::INFINITY; count];
+                    let mut local_index = vec![usize::MAX; count];
+                    process_diagonals(
+                        series,
+                        &ws,
+                        &qt_first,
+                        range,
+                        &mut local_profile,
+                        &mut local_index,
+                    );
+                    (local_profile, local_index)
+                })
+                .collect();
+            // (distance, index)-lexicographic merge: commutative and
+            // associative, hence thread-count independent.
+            for (local_profile, local_index) in partials {
+                for i in 0..count {
+                    if improves(local_profile[i], local_index[i], profile[i], index[i]) {
+                        profile[i] = local_profile[i];
+                        index[i] = local_index[i];
+                    }
+                }
             }
         }
-    };
-
-    update_row(0, &mut qt);
-    for i in 1..count {
-        // In-place right-to-left update keeps QT[i−1][j−1] available.
-        for j in (1..count).rev() {
-            qt[j] = qt[j - 1] - series[i - 1] * series[j - 1] + series[i + m - 1] * series[j + m - 1];
-        }
-        qt[0] = qt_first[i];
-        update_row(i, &mut qt);
     }
 
     MatrixProfile {
@@ -121,11 +211,7 @@ mod tests {
         }
         let mp = stomp(&series, 30);
         let top = mp.discords(1)[0];
-        assert!(
-            (120..=180).contains(&top.start),
-            "discord at {}",
-            top.start
-        );
+        assert!((120..=180).contains(&top.start), "discord at {}", top.start);
     }
 
     #[test]
@@ -151,5 +237,33 @@ mod tests {
         let mp = stomp(&series, 3);
         assert_eq!(mp.len(), 1);
         assert!(mp.profile[0].is_infinite());
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let series = test_series(400);
+        let m = 12;
+        let reference = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| stomp_with_exclusion(&series, m, m / 2));
+        for threads in [2usize, 3, 8] {
+            let run = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| stomp_with_exclusion(&series, m, m / 2));
+            assert_eq!(reference.profile, run.profile, "{threads} threads: profile");
+            assert_eq!(reference.index, run.index, "{threads} threads: index");
+        }
+    }
+
+    #[test]
+    fn exclusion_wider_than_series_yields_all_infinite() {
+        let series = test_series(40);
+        let mp = stomp_with_exclusion(&series, 5, 100);
+        assert!(mp.profile.iter().all(|d| d.is_infinite()));
+        assert!(mp.index.iter().all(|&i| i == usize::MAX));
     }
 }

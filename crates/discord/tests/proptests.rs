@@ -6,7 +6,9 @@
 //! strongest correctness evidence available without external fixtures.
 
 use egi_discord::brute::brute_force;
-use egi_discord::stamp::stamp_with_exclusion;
+use egi_discord::dist::WindowStats;
+use egi_discord::mass::{mass_self, MassPrecomputed};
+use egi_discord::stamp::{stamp_per_query_fft, stamp_with_exclusion};
 use egi_discord::stomp::stomp_with_exclusion;
 use proptest::prelude::*;
 
@@ -63,6 +65,64 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// Shared-spectrum MASS ([`MassPrecomputed`]) equals the per-query
+    /// FFT path to 1e-9 on random inputs — the parity contract of the
+    /// fast path.
+    #[test]
+    fn mass_precomputed_matches_mass_self(series in series_strategy(), m in 4usize..16) {
+        prop_assume!(series.len() >= 2 * m);
+        let ws = WindowStats::new(&series, m);
+        let pre = MassPrecomputed::new(&series, m);
+        let count = ws.count();
+        for q in [0, count / 3, count - 1] {
+            let naive = mass_self(&series, q, &ws);
+            let fast = pre.distance_profile(q);
+            prop_assert_eq!(naive.len(), fast.len());
+            for j in 0..naive.len() {
+                prop_assert!(
+                    (naive[j] - fast[j]).abs() < 1e-9,
+                    "q={} j={}: {} vs {}", q, j, naive[j], fast[j]
+                );
+            }
+        }
+    }
+
+    /// Shared-spectrum STAMP equals the per-query-FFT STAMP to 1e-9.
+    #[test]
+    fn stamp_fast_path_matches_naive_path(series in series_strategy(), m in 4usize..16) {
+        prop_assume!(series.len() >= 2 * m);
+        let fast = stamp_with_exclusion(&series, m, m / 2);
+        let naive = stamp_per_query_fft(&series, m, m / 2);
+        for i in 0..fast.len() {
+            let (f, s) = (fast.profile[i], naive.profile[i]);
+            let equal = (f.is_infinite() && s.is_infinite()) || (f - s).abs() < 1e-9;
+            prop_assert!(equal, "i={}: {} vs {}", i, f, s);
+        }
+    }
+
+    /// Diagonal-parallel STOMP returns bit-identical profiles and
+    /// indices for every worker count.
+    #[test]
+    fn stomp_deterministic_across_threads(
+        series in series_strategy(),
+        m in 4usize..12,
+        threads in 2usize..9,
+    ) {
+        prop_assume!(series.len() >= 2 * m);
+        let single = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| stomp_with_exclusion(&series, m, m / 2));
+        let multi = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| stomp_with_exclusion(&series, m, m / 2));
+        prop_assert_eq!(&single.profile, &multi.profile);
+        prop_assert_eq!(&single.index, &multi.index);
     }
 
     /// Scaling and shifting the series leaves the (z-normalized) matrix

@@ -130,8 +130,12 @@ fn cmd_fig1(sink: &ReportSink, cli: &Cli) {
         ranked[1].score,
         r.best_to_second_distance()
     ));
-    sink.markdown("fig1", "Figure 1: Score per (w, a) on dishwasher data", &body)
-        .unwrap();
+    sink.markdown(
+        "fig1",
+        "Figure 1: Score per (w, a) on dishwasher data",
+        &body,
+    )
+    .unwrap();
     sink.json("fig1", &r).unwrap();
 }
 
@@ -207,7 +211,14 @@ fn cmd_fig8(sink: &ReportSink, p: &ExperimentParams, cli: &Cli) {
     let window = 300;
     let mut points = Vec::new();
     for kind in SeriesKind::ALL {
-        points.extend(run_scalability(kind, &lengths, window, &p.ensemble, p.seed, cap));
+        points.extend(run_scalability(
+            kind,
+            &lengths,
+            window,
+            &p.ensemble,
+            p.seed,
+            cap,
+        ));
     }
     sink.markdown(
         "fig8",
@@ -221,7 +232,11 @@ fn cmd_fig8(sink: &ReportSink, p: &ExperimentParams, cli: &Cli) {
     let sto: Vec<f64> = points.iter().map(|pt| pt.stomp_secs).collect();
     egi_tskit::io::write_columns(
         sink.dir().join("fig8.csv"),
-        &[("length", &cols), ("ensemble_secs", &ens), ("stomp_secs", &sto)],
+        &[
+            ("length", &cols),
+            ("ensemble_secs", &ens),
+            ("stomp_secs", &sto),
+        ],
     )
     .unwrap();
 }

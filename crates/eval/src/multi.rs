@@ -52,15 +52,17 @@ pub fn run_multi_anomaly(
     for s in 0..series_count {
         let mut rng = StdRng::seed_from_u64(subseed(seed, s as u64));
         let m = generate_multi_anomaly(family, 42, anomaly_count, &mut rng);
-        let cands = run_proposed(&m.series, window, params, top_k, subseed(seed, 777 + s as u64));
+        let cands = run_proposed(
+            &m.series,
+            window,
+            params,
+            top_k,
+            subseed(seed, 777 + s as u64),
+        );
         let detected = m
             .ground_truth
             .iter()
-            .filter(|&&(gs, gl)| {
-                cands
-                    .iter()
-                    .any(|&c| intervals_overlap(c, window, gs, gl))
-            })
+            .filter(|&&(gs, gl)| cands.iter().any(|&c| intervals_overlap(c, window, gs, gl)))
             .count();
         detected_per_series.push(detected);
     }
@@ -100,7 +102,11 @@ mod tests {
         assert!(r.detected_per_series.iter().all(|&d| d <= 2));
         // On StarLightCurve the anomaly is blatant; expect at least one
         // detection per series even with a small ensemble.
-        assert!(r.total_detected() >= 2, "detected {:?}", r.detected_per_series);
+        assert!(
+            r.total_detected() >= 2,
+            "detected {:?}",
+            r.detected_per_series
+        );
     }
 
     #[test]

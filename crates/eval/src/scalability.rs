@@ -104,8 +104,9 @@ pub fn run_scalability(
 
 /// Renders Figure 8 data as a markdown table.
 pub fn render_fig8(points: &[ScalabilityPoint]) -> String {
-    let mut out =
-        String::from("| Workload | Length | Ensemble (s) | STOMP (s) | Speedup |\n|---|---|---|---|---|\n");
+    let mut out = String::from(
+        "| Workload | Length | Ensemble (s) | STOMP (s) | Speedup |\n|---|---|---|---|---|\n",
+    );
     for p in points {
         let speedup = if p.stomp_secs.is_finite() && p.ensemble_secs > 0.0 {
             format!("{:.1}×", p.stomp_secs / p.ensemble_secs)

@@ -10,7 +10,9 @@ use rand::SeedableRng;
 use serde::Serialize;
 
 use crate::metrics::{best_score, mean_or_zero, Wtl};
-use crate::runner::{run_baseline, run_proposed, subseed, Baseline, EnsembleParams, ExperimentParams};
+use crate::runner::{
+    run_baseline, run_proposed, subseed, Baseline, EnsembleParams, ExperimentParams,
+};
 
 /// Generates the evaluation corpus for `family` with the same seeding as
 /// the main experiment, so sweep comparisons are paired.
@@ -212,11 +214,7 @@ pub struct TauCell {
 }
 
 /// Runs the Table 12 τ sweep.
-pub fn run_tau_sweep(
-    taus: &[f64],
-    repeats: usize,
-    params: &ExperimentParams,
-) -> Vec<TauCell> {
+pub fn run_tau_sweep(taus: &[f64], repeats: usize, params: &ExperimentParams) -> Vec<TauCell> {
     let mut out = Vec::new();
     for family in UcrFamily::ALL {
         let corpus = corpus_for(family, params);
@@ -379,11 +377,7 @@ mod tests {
     #[test]
     fn sweep_on_one_small_arm_runs() {
         let params = tiny();
-        let arms = vec![(
-            "N=6".to_string(),
-            params.ensemble,
-            1.0,
-        )];
+        let arms = vec![("N=6".to_string(), params.ensemble, 1.0)];
         let result = run_sweep(&arms, &params);
         assert_eq!(result.len(), 1);
         assert_eq!(result[0].cells.len(), 6); // six datasets

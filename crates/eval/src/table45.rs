@@ -38,7 +38,13 @@ pub struct DatasetResult {
 impl DatasetResult {
     /// Table 4 row: average Score of the proposed method.
     pub fn avg_score_proposed(&self) -> f64 {
-        mean_or_zero(&self.per_series.iter().map(|s| s.proposed).collect::<Vec<_>>())
+        mean_or_zero(
+            &self
+                .per_series
+                .iter()
+                .map(|s| s.proposed)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Table 4 row: average Score of baseline `b`.
@@ -74,7 +80,11 @@ impl DatasetResult {
     /// Table 6 cell: wins/ties/losses of the proposed method vs `b`.
     pub fn wtl(&self, b: Baseline) -> Wtl {
         let idx = baseline_index(b);
-        Wtl::from_pairs(self.per_series.iter().map(|s| (s.proposed, s.baselines[idx])))
+        Wtl::from_pairs(
+            self.per_series
+                .iter()
+                .map(|s| (s.proposed, s.baselines[idx])),
+        )
     }
 
     /// Best score across GI-Random / GI-Fix / GI-Select per series — the

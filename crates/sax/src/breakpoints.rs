@@ -89,7 +89,9 @@ impl BreakpointTable {
             (MIN_ALPHABET..=MAX_ALPHABET).contains(&a),
             "alphabet size {a} outside [{MIN_ALPHABET}, {MAX_ALPHABET}]"
         );
-        let cuts = (1..a).map(|i| inverse_normal_cdf(i as f64 / a as f64)).collect();
+        let cuts = (1..a)
+            .map(|i| inverse_normal_cdf(i as f64 / a as f64))
+            .collect();
         Self { alphabet: a, cuts }
     }
 
@@ -179,7 +181,10 @@ mod tests {
             // Symmetry: β_i = −β_{a−i}.
             for i in 0..t.cuts().len() {
                 let j = t.cuts().len() - 1 - i;
-                assert!((t.cuts()[i] + t.cuts()[j]).abs() < 1e-8, "a={a} not symmetric");
+                assert!(
+                    (t.cuts()[i] + t.cuts()[j]).abs() < 1e-8,
+                    "a={a} not symmetric"
+                );
             }
         }
     }
@@ -195,8 +200,8 @@ mod tests {
     #[test]
     fn symbol_boundary_is_left_closed() {
         let t = BreakpointTable::new(4);
-        let cut = t.cuts()[1]; // 0.0
         // Region convention [β_i, β_{i+1}): the cut itself belongs above.
+        let cut = t.cuts()[1]; // 0.0
         assert_eq!(t.symbol(cut), 2);
         assert_eq!(t.symbol(cut - 1e-12), 1);
     }

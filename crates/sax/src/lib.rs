@@ -16,6 +16,9 @@
 //! * [`multires`] — the multi-resolution symbol matrix of Section 6.2:
 //!   one binary search per PAA coefficient yields its symbol under *every*
 //!   alphabet size `2..=amax` at once.
+//! * [`stream`] — shared PAA coefficient streams: compute each `(n, w)`
+//!   stream once, reuse it for every alphabet (the ensemble's PAA
+//!   deduplication).
 //!
 //! The naive and fast paths are intentionally both kept public: the naive
 //! implementations are the executable specification, the fast ones are what
@@ -31,6 +34,7 @@ pub mod mindist;
 pub mod multires;
 pub mod numerosity;
 pub mod paa;
+pub mod stream;
 pub mod word;
 
 pub use breakpoints::BreakpointTable;
@@ -39,4 +43,5 @@ pub use mindist::MindistTable;
 pub use multires::{MultiResBreakpoints, SymbolColumn};
 pub use numerosity::{numerosity_reduce, NumerosityReduced, Token};
 pub use paa::{paa, paa_into};
+pub use stream::{discretize_from_stream, PaaStream};
 pub use word::{sax_word, SaxConfig, SaxWord};

@@ -57,7 +57,10 @@ impl MultiResBreakpoints {
         let tables: Vec<BreakpointTable> =
             (MIN_ALPHABET..=amax).map(BreakpointTable::new).collect();
 
-        let mut merged: Vec<f64> = tables.iter().flat_map(|t| t.cuts().iter().copied()).collect();
+        let mut merged: Vec<f64> = tables
+            .iter()
+            .flat_map(|t| t.cuts().iter().copied())
+            .collect();
         merged.sort_by(|x, y| x.partial_cmp(y).expect("breakpoints are finite"));
         merged.dedup_by(|x, y| (*x - *y).abs() < 1e-12);
 
@@ -71,7 +74,11 @@ impl MultiResBreakpoints {
             })
             .collect();
 
-        Self { amax, merged, columns }
+        Self {
+            amax,
+            merged,
+            columns,
+        }
     }
 
     /// Largest alphabet size covered.
@@ -186,7 +193,11 @@ mod tests {
             for &cut in t.cuts() {
                 assert_eq!(m.symbol(cut, a), t.symbol(cut), "on-cut v={cut} a={a}");
                 let below = cut - 1e-9;
-                assert_eq!(m.symbol(below, a), t.symbol(below), "below-cut v={below} a={a}");
+                assert_eq!(
+                    m.symbol(below, a),
+                    t.symbol(below),
+                    "below-cut v={below} a={a}"
+                );
             }
         }
     }

@@ -1,0 +1,149 @@
+//! Shared PAA coefficient streams.
+//!
+//! A window's PAA coefficients depend only on the window length `n` and
+//! the PAA size `w` — **not** on the alphabet size `a`. Ensemble members
+//! that share `w` and differ only in `a` therefore recompute identical
+//! coefficient streams under [`discretize_series`]. [`PaaStream`]
+//! materializes the coefficients of every sliding window once
+//! (`O(N·w)`), and [`discretize_from_stream`] turns one stream into a
+//! numerosity-reduced token sequence for any alphabet in `O(N·w·log a)`
+//! symbol lookups with no PAA recomputation — the ensemble runtime's PAA
+//! deduplication.
+//!
+//! [`discretize_series`]: crate::discretize::discretize_series
+
+use egi_tskit::window::window_count;
+
+use crate::discretize::FastSax;
+use crate::multires::MultiResBreakpoints;
+use crate::numerosity::{numerosity_reduce, NumerosityReduced};
+use crate::word::{SaxConfig, SaxWord};
+
+/// The PAA coefficients of every sliding window of one series, for one
+/// `(n, w)` pair, row-major (`count × w`).
+#[derive(Debug, Clone)]
+pub struct PaaStream {
+    /// Sliding-window length the stream was computed with.
+    pub n: usize,
+    /// PAA size (coefficients per window).
+    pub w: usize,
+    /// Number of windows.
+    pub count: usize,
+    /// Row-major coefficients: window `i` occupies `[i·w, (i+1)·w)`.
+    pub coeffs: Vec<f64>,
+}
+
+impl PaaStream {
+    /// Computes the stream for all windows of length `n` over the series
+    /// behind `fast`, with `w` PAA segments per window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w == 0` or `w > n`.
+    pub fn new(fast: &FastSax<'_>, n: usize, w: usize) -> Self {
+        assert!(w > 0 && w <= n, "PAA size {w} invalid for window {n}");
+        let count = window_count(fast.len(), n);
+        let mut coeffs = vec![0.0; count * w];
+        for (start, row) in coeffs.chunks_exact_mut(w).enumerate() {
+            fast.paa_znorm_into(start, n, row);
+        }
+        Self {
+            n,
+            w,
+            count,
+            coeffs,
+        }
+    }
+
+    /// The coefficient row of window `start`.
+    pub fn row(&self, start: usize) -> &[f64] {
+        &self.coeffs[start * self.w..(start + 1) * self.w]
+    }
+}
+
+/// Discretizes from a precomputed coefficient stream: per-coefficient
+/// symbol lookup under alphabet `cfg.a`, then numerosity reduction.
+///
+/// Equivalent to [`discretize_series`] for the same `(n, w, a)` — the
+/// property tests pin the two paths to agree exactly.
+///
+/// # Panics
+///
+/// Panics if `cfg.w` differs from the stream's `w`.
+///
+/// [`discretize_series`]: crate::discretize::discretize_series
+pub fn discretize_from_stream(
+    stream: &PaaStream,
+    cfg: SaxConfig,
+    multi: &MultiResBreakpoints,
+) -> NumerosityReduced {
+    assert_eq!(cfg.w, stream.w, "config w does not match stream");
+    let words: Vec<SaxWord> = stream
+        .coeffs
+        .chunks_exact(stream.w)
+        .map(|row| SaxWord(row.iter().map(|&c| multi.symbol(c, cfg.a)).collect()))
+        .collect();
+    numerosity_reduce(words, stream.n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discretize::discretize_series;
+
+    fn wave(len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| (i as f64 / 9.0).sin() * 3.0 + (i as f64 / 31.0).cos())
+            .collect()
+    }
+
+    #[test]
+    fn stream_discretization_matches_direct_path() {
+        let data = wave(400);
+        let fast = FastSax::new(&data);
+        let multi = MultiResBreakpoints::new(10);
+        let n = 40;
+        for &w in &[2usize, 5, 8] {
+            let stream = PaaStream::new(&fast, n, w);
+            for a in 2..=10 {
+                let cfg = SaxConfig::new(w, a);
+                let from_stream = discretize_from_stream(&stream, cfg, &multi);
+                let direct = discretize_series(&fast, n, cfg, &multi);
+                assert_eq!(from_stream, direct, "divergence at w={w} a={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_rows_match_fast_paa() {
+        let data = wave(120);
+        let fast = FastSax::new(&data);
+        let stream = PaaStream::new(&fast, 16, 4);
+        let mut direct = vec![0.0; 4];
+        for start in [0usize, 7, stream.count - 1] {
+            fast.paa_znorm_into(start, 16, &mut direct);
+            assert_eq!(stream.row(start), direct.as_slice(), "row {start}");
+        }
+    }
+
+    #[test]
+    fn empty_series_yields_empty_stream() {
+        let data = wave(5);
+        let fast = FastSax::new(&data);
+        let stream = PaaStream::new(&fast, 10, 3);
+        assert_eq!(stream.count, 0);
+        let multi = MultiResBreakpoints::new(4);
+        let nr = discretize_from_stream(&stream, SaxConfig::new(3, 3), &multi);
+        assert!(nr.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match stream")]
+    fn mismatched_w_panics() {
+        let data = wave(60);
+        let fast = FastSax::new(&data);
+        let stream = PaaStream::new(&fast, 12, 4);
+        let multi = MultiResBreakpoints::new(4);
+        discretize_from_stream(&stream, SaxConfig::new(3, 3), &multi);
+    }
+}

@@ -134,7 +134,10 @@ mod tests {
         let shifted: Vec<f64> = base.iter().map(|v| v * 7.0 + 100.0).collect();
         let cfg = SaxConfig::new(8, 5);
         let table = BreakpointTable::new(5);
-        assert_eq!(sax_word(&base, cfg, &table), sax_word(&shifted, cfg, &table));
+        assert_eq!(
+            sax_word(&base, cfg, &table),
+            sax_word(&shifted, cfg, &table)
+        );
     }
 
     #[test]

@@ -494,7 +494,11 @@ mod tests {
         let r1 = &g.rules[1];
         assert_eq!(
             r1.body,
-            vec![Symbol::Terminal(0), Symbol::Terminal(1), Symbol::Terminal(2)]
+            vec![
+                Symbol::Terminal(0),
+                Symbol::Terminal(1),
+                Symbol::Terminal(2)
+            ]
         );
         assert_eq!(r1.uses, 2);
         assert_eq!(r1.expansion_len, 3);
@@ -513,7 +517,11 @@ mod tests {
         );
         assert_eq!(
             g.rules[1].body,
-            vec![Symbol::Terminal(0), Symbol::Terminal(1), Symbol::Terminal(2)]
+            vec![
+                Symbol::Terminal(0),
+                Symbol::Terminal(1),
+                Symbol::Terminal(2)
+            ]
         );
     }
 
@@ -565,7 +573,11 @@ mod tests {
         }
         let g = induce(input.clone());
         assert_eq!(g.expand_root(), input);
-        assert!(g.rules[0].body.len() <= 4, "root body: {:?}", g.rules[0].body);
+        assert!(
+            g.rules[0].body.len() <= 4,
+            "root body: {:?}",
+            g.rules[0].body
+        );
         g.verify().unwrap();
     }
 
@@ -574,10 +586,7 @@ mod tests {
         // abcdbc: digram bc repeats, rule created; then abcd again forces
         // reuse of existing full-body rule.
         let g = induce([0u32, 1, 2, 3, 1, 2, 0, 1, 2, 3, 1, 2]);
-        assert_eq!(
-            g.expand_root(),
-            vec![0, 1, 2, 3, 1, 2, 0, 1, 2, 3, 1, 2]
-        );
+        assert_eq!(g.expand_root(), vec![0, 1, 2, 3, 1, 2, 0, 1, 2, 3, 1, 2]);
         g.verify().unwrap();
     }
 
@@ -621,6 +630,9 @@ mod tests {
         let g = induce(input.clone());
         assert_eq!(g.expand_root(), input);
         let total: usize = g.rules.iter().map(|r| r.body.len()).sum();
-        assert!(total < 40, "grammar size {total} for 256-token repetitive input");
+        assert!(
+            total < 40,
+            "grammar size {total} for 256-token repetitive input"
+        );
     }
 }

@@ -71,7 +71,9 @@ fn long_stream_stress() {
     let mut state = 0x9e3779b97f4a7c15u64;
     let tokens: Vec<u32> = (0..50_000)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % 8) as u32
         })
         .collect();

@@ -71,11 +71,17 @@ impl CorpusSpec {
 
     /// Generates one labeled series.
     pub fn generate_one(&self, rng: &mut impl Rng) -> LabeledSeries {
-        assert!(self.normal_instances >= 2, "need at least 2 normal instances");
+        assert!(
+            self.normal_instances >= 2,
+            "need at least 2 normal instances"
+        );
         let ilen = self.family.instance_length();
         let total = self.series_length();
         let (lo, hi) = self.plant_band;
-        assert!((0.0..=1.0).contains(&lo) && lo < hi && hi <= 1.0, "bad plant band");
+        assert!(
+            (0.0..=1.0).contains(&lo) && lo < hi && hi <= 1.0,
+            "bad plant band"
+        );
 
         // Choose the boundary (in instance units) where the anomaly goes.
         // Boundary b means: b normal instances, then the anomaly.
@@ -105,7 +111,9 @@ impl CorpusSpec {
 
     /// Generates the full corpus (`series_count` labeled series).
     pub fn generate(&self, rng: &mut impl Rng) -> Vec<LabeledSeries> {
-        (0..self.series_count).map(|_| self.generate_one(rng)).collect()
+        (0..self.series_count)
+            .map(|_| self.generate_one(rng))
+            .collect()
     }
 }
 
@@ -180,8 +188,14 @@ mod tests {
         assert_eq!(CorpusSpec::paper(UcrFamily::GunPoint).series_length(), 3150);
         assert_eq!(CorpusSpec::paper(UcrFamily::Wafer).series_length(), 3150);
         assert_eq!(CorpusSpec::paper(UcrFamily::Trace).series_length(), 5775);
-        assert_eq!(CorpusSpec::paper(UcrFamily::StarLightCurve).series_length(), 21504);
-        assert_eq!(CorpusSpec::paper(UcrFamily::EcgFiveDays).series_length(), 2772);
+        assert_eq!(
+            CorpusSpec::paper(UcrFamily::StarLightCurve).series_length(),
+            21504
+        );
+        assert_eq!(
+            CorpusSpec::paper(UcrFamily::EcgFiveDays).series_length(),
+            2772
+        );
     }
 
     #[test]
@@ -191,7 +205,11 @@ mod tests {
         let ls = spec.generate_one(&mut rng);
         assert_eq!(ls.series.len(), spec.series_length());
         assert_eq!(ls.gt_len, 150);
-        assert_eq!(ls.gt_start % 150, 0, "anomaly planted off instance boundary");
+        assert_eq!(
+            ls.gt_start % 150,
+            0,
+            "anomaly planted off instance boundary"
+        );
         assert!(ls.gt_start + ls.gt_len <= ls.series.len());
     }
 
@@ -216,9 +234,13 @@ mod tests {
     fn plant_positions_vary() {
         let mut rng = StdRng::seed_from_u64(3);
         let spec = CorpusSpec::paper(UcrFamily::Trace);
-        let starts: std::collections::HashSet<usize> =
-            (0..25).map(|_| spec.generate_one(&mut rng).gt_start).collect();
-        assert!(starts.len() > 3, "plant positions not randomized: {starts:?}");
+        let starts: std::collections::HashSet<usize> = (0..25)
+            .map(|_| spec.generate_one(&mut rng).gt_start)
+            .collect();
+        assert!(
+            starts.len() > 3,
+            "plant positions not randomized: {starts:?}"
+        );
     }
 
     #[test]

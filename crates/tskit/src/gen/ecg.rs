@@ -158,7 +158,10 @@ mod tests {
                 in_run = false;
             }
         }
-        assert!((15..=25).contains(&runs), "found {runs} R waves, expected ~20");
+        assert!(
+            (15..=25).contains(&runs),
+            "found {runs} R waves, expected ~20"
+        );
     }
 
     #[test]

@@ -51,7 +51,8 @@ pub fn eeg_series(n: usize, fs: f64, noise_sigma: f64, rng: &mut impl Rng) -> Ve
             let mut v = 0.0;
             for b in &bands {
                 // Envelope in [0.25, 1.0]: rhythms wax and wane.
-                let env = 0.625 + 0.375 * (std::f64::consts::TAU * t / b.env_period + b.env_phase).sin();
+                let env =
+                    0.625 + 0.375 * (std::f64::consts::TAU * t / b.env_period + b.env_phase).sin();
                 v += b.amp * env * (b.omega * t + b.phase).sin();
             }
             if noise_sigma > 0.0 {

@@ -67,7 +67,11 @@ fn push_fridge_cycle(out: &mut Vec<f64>, cycle: &DutyCycle, rng: &mut impl Rng) 
 
 /// An anomalous cycle: compressor runs at half power, twice as long, with a
 /// low-frequency oscillation — an "unusual shape" like Figure 9(c).
-fn push_fridge_anomaly_shape(out: &mut Vec<f64>, cycle: &DutyCycle, rng: &mut impl Rng) -> (usize, usize) {
+fn push_fridge_anomaly_shape(
+    out: &mut Vec<f64>,
+    cycle: &DutyCycle,
+    rng: &mut impl Rng,
+) -> (usize, usize) {
     let start = out.len();
     let off = cycle.off_len / 2;
     let on = cycle.on_len * 2;
@@ -83,7 +87,11 @@ fn push_fridge_anomaly_shape(out: &mut Vec<f64>, cycle: &DutyCycle, rng: &mut im
 
 /// An anomalous event: normal cycle overlaid with short high spikes
 /// (defrost heater bursts) — like Figure 9(d).
-fn push_fridge_anomaly_spikes(out: &mut Vec<f64>, cycle: &DutyCycle, rng: &mut impl Rng) -> (usize, usize) {
+fn push_fridge_anomaly_spikes(
+    out: &mut Vec<f64>,
+    cycle: &DutyCycle,
+    rng: &mut impl Rng,
+) -> (usize, usize) {
     let start = out.len();
     push_fridge_cycle(out, cycle, rng);
     let len = out.len() - start;
@@ -104,7 +112,11 @@ fn push_fridge_anomaly_spikes(out: &mut Vec<f64>, cycle: &DutyCycle, rng: &mut i
 ///
 /// Nominal cycle length is `cycle_len` samples (the paper uses a sliding
 /// window of 900 ≈ one cycle).
-pub fn fridge_freezer_series(total_len: usize, cycle_len: usize, rng: &mut impl Rng) -> PowerProfile {
+pub fn fridge_freezer_series(
+    total_len: usize,
+    cycle_len: usize,
+    rng: &mut impl Rng,
+) -> PowerProfile {
     assert!(cycle_len >= 16, "cycle_len too small");
     let cycle = DutyCycle {
         on_len: cycle_len * 2 / 5,
@@ -148,9 +160,21 @@ fn push_dishwasher_cycle(out: &mut Vec<f64>, short_heating: bool, rng: &mut impl
     // Pump background runs through the whole wash.
     let phases: &[(usize, f64)] = if short_heating {
         // Anomalous cycle of Figure 1: unusually short heating period.
-        &[(40, 60.0), (18, 2000.0), (40, 60.0), (10, 2000.0), (30, 60.0)]
+        &[
+            (40, 60.0),
+            (18, 2000.0),
+            (40, 60.0),
+            (10, 2000.0),
+            (30, 60.0),
+        ]
     } else {
-        &[(40, 60.0), (60, 2000.0), (40, 60.0), (50, 2000.0), (30, 60.0)]
+        &[
+            (40, 60.0),
+            (60, 2000.0),
+            (40, 60.0),
+            (50, 2000.0),
+            (30, 60.0),
+        ]
     };
     for &(len, power) in phases {
         let len = jittered(len, 0.08, rng);
@@ -207,8 +231,14 @@ mod tests {
         let p = fridge_freezer_series(90_000, 900, &mut rng);
         let (s1, _) = p.anomalies[0];
         let (s2, _) = p.anomalies[1];
-        assert!((s1 as f64 / 90_000.0 - 1.0 / 3.0).abs() < 0.05, "s1 at {s1}");
-        assert!((s2 as f64 / 90_000.0 - 2.0 / 3.0).abs() < 0.05, "s2 at {s2}");
+        assert!(
+            (s1 as f64 / 90_000.0 - 1.0 / 3.0).abs() < 0.05,
+            "s1 at {s1}"
+        );
+        assert!(
+            (s2 as f64 / 90_000.0 - 2.0 / 3.0).abs() < 0.05,
+            "s2 at {s2}"
+        );
     }
 
     #[test]

@@ -363,7 +363,11 @@ mod tests {
     fn generated_lengths_match_declared() {
         let mut r = rng();
         for f in UcrFamily::ALL {
-            assert_eq!(f.normal_instance(&mut r).len(), f.instance_length(), "{f} normal");
+            assert_eq!(
+                f.normal_instance(&mut r).len(),
+                f.instance_length(),
+                "{f} normal"
+            );
             assert_eq!(
                 f.anomalous_instance(&mut r).len(),
                 f.instance_length(),
@@ -391,7 +395,11 @@ mod tests {
             for _ in 0..3 {
                 let inst = f.normal_instance(&mut r);
                 assert!(inst[0].abs() < 0.15, "{f} starts at {}", inst[0]);
-                assert!(inst[inst.len() - 1].abs() < 0.15, "{f} ends at {}", inst[inst.len() - 1]);
+                assert!(
+                    inst[inst.len() - 1].abs() < 0.15,
+                    "{f} ends at {}",
+                    inst[inst.len() - 1]
+                );
             }
         }
     }
@@ -405,7 +413,11 @@ mod tests {
         for f in UcrFamily::ALL {
             let template = f.normal_instance(&mut r);
             let dist = |a: &[f64], b: &[f64]| -> f64 {
-                a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt()
+                a.iter()
+                    .zip(b)
+                    .map(|(x, y)| (x - y).powi(2))
+                    .sum::<f64>()
+                    .sqrt()
             };
             let mut intra = 0.0;
             let mut inter = 0.0;

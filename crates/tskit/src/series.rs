@@ -117,18 +117,18 @@ impl TimeSeries {
 
     /// Minimum value; `NaN` for an empty series.
     pub fn min(&self) -> f64 {
-        self.values
-            .iter()
-            .copied()
-            .fold(f64::NAN, |acc, v| if v < acc || acc.is_nan() { v } else { acc })
+        self.values.iter().copied().fold(
+            f64::NAN,
+            |acc, v| if v < acc || acc.is_nan() { v } else { acc },
+        )
     }
 
     /// Maximum value; `NaN` for an empty series.
     pub fn max(&self) -> f64 {
-        self.values
-            .iter()
-            .copied()
-            .fold(f64::NAN, |acc, v| if v > acc || acc.is_nan() { v } else { acc })
+        self.values.iter().copied().fold(
+            f64::NAN,
+            |acc, v| if v > acc || acc.is_nan() { v } else { acc },
+        )
     }
 
     /// Returns a z-normalized copy (mean 0, stddev 1).

@@ -276,12 +276,17 @@ mod tests {
 
     #[test]
     fn prefix_sums_match_direct() {
-        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.7).sin() * 3.0 + 1.0).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 0.7).sin() * 3.0 + 1.0)
+            .collect();
         let ps = PrefixStats::new(&xs);
         assert_eq!(ps.len(), 100);
         for &(s, e) in &[(0usize, 100usize), (3, 17), (50, 51), (10, 10), (98, 100)] {
             let direct_sum: f64 = xs[s..e].iter().sum();
-            assert!((ps.range_sum(s, e) - direct_sum).abs() < 1e-9, "sum range {s}..{e}");
+            assert!(
+                (ps.range_sum(s, e) - direct_sum).abs() < 1e-9,
+                "sum range {s}..{e}"
+            );
             if e - s >= 1 {
                 assert!(
                     (ps.range_mean(s, e) - mean(&xs[s..e])).abs() < 1e-9,

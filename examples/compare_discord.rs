@@ -26,7 +26,10 @@ fn main() {
         .nth(1)
         .map(|s| UcrFamily::from_name(&s).expect("unknown dataset family"))
         .unwrap_or(UcrFamily::GunPoint);
-    println!("dataset family: {family} (instance length {})", family.instance_length());
+    println!(
+        "dataset family: {family} (instance length {})",
+        family.instance_length()
+    );
 
     let mut rng = StdRng::seed_from_u64(11);
     let spec = CorpusSpec::paper(family);

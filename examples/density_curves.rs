@@ -11,8 +11,8 @@
 //!
 //! Run with: `cargo run --release --example density_curves`
 
-use egi::prelude::*;
 use egi::core::MemberDiagnostics;
+use egi::prelude::*;
 use egi_tskit::gen::ecg::{ecg_beat, EcgParams};
 
 fn main() {
@@ -31,7 +31,11 @@ fn main() {
             series.extend_from_slice(&normal);
         }
     }
-    println!("ECG series: {} points, ectopic beat at [{gt}, {})", series.len(), gt + beat_len);
+    println!(
+        "ECG series: {} points, ectopic beat at [{gt}, {})",
+        series.len(),
+        gt + beat_len
+    );
 
     let detector = EnsembleDetector::new(EnsembleConfig {
         window: beat_len,
@@ -44,10 +48,20 @@ fn main() {
     order.sort_by(|&x, &y| diag.stds[y].partial_cmp(&diag.stds[x]).unwrap());
     println!("\nmember std ranking (Figure 5):");
     for (rank, &i) in order.iter().take(2).enumerate() {
-        println!("  top-{}  {}: std {:.3}", rank + 1, diag.params[i], diag.stds[i]);
+        println!(
+            "  top-{}  {}: std {:.3}",
+            rank + 1,
+            diag.params[i],
+            diag.stds[i]
+        );
     }
     for (rank, &i) in order.iter().rev().take(2).enumerate() {
-        println!("  bottom-{} {}: std {:.3}", rank + 1, diag.params[i], diag.stds[i]);
+        println!(
+            "  bottom-{} {}: std {:.3}",
+            rank + 1,
+            diag.params[i],
+            diag.stds[i]
+        );
     }
 
     // The combined ensemble curve (Figure 4.bottom analogue): where is
@@ -62,7 +76,11 @@ fn main() {
     );
     println!(
         "anomaly {} (|Δ| = {} points)",
-        if c.start.abs_diff(gt) < beat_len { "FOUND" } else { "missed" },
+        if c.start.abs_diff(gt) < beat_len {
+            "FOUND"
+        } else {
+            "missed"
+        },
         c.start.abs_diff(gt)
     );
 

@@ -54,7 +54,13 @@ fn main() {
             } else {
                 "false positive"
             };
-            println!("  #{} [{}, {}) len {} — {tag}", i + 1, c.start, c.start + c.len, c.len);
+            println!(
+                "  #{} [{}, {}) len {} — {tag}",
+                i + 1,
+                c.start,
+                c.start + c.len,
+                c.len
+            );
         }
     };
 
@@ -75,7 +81,10 @@ fn main() {
         suppression_margin: None,
     });
     let report = det.detect(&series, 2, 7);
-    describe("multi-window ensemble n ∈ {100, 200, 300}", &report.anomalies);
+    describe(
+        "multi-window ensemble n ∈ {100, 200, 300}",
+        &report.anomalies,
+    );
 
     let both = [short_gt, long_gt].iter().all(|&(s, l)| {
         report

@@ -147,7 +147,13 @@ fn cmd_discord(positional: &[String], flags: &HashMap<String, String>) {
     );
     println!("rank,start,end,nn_distance");
     for (i, d) in discords.iter().enumerate() {
-        println!("{},{},{},{:.6}", i + 1, d.start, d.start + d.len, d.distance);
+        println!(
+            "{},{},{},{:.6}",
+            i + 1,
+            d.start,
+            d.start + d.len,
+            d.distance
+        );
     }
 }
 

@@ -33,7 +33,7 @@
 //! | [`sax`] | `egi-sax` | PAA, SAX, numerosity reduction, multi-resolution SAX |
 //! | [`sequitur`] | `egi-sequitur` | linear-time grammar induction |
 //! | [`core`] | `egi-core` | rule density curves, single & ensemble detectors |
-//! | [`discord`] | `egi-discord` | matrix profile (STOMP/STAMP), HOTSAX, brute force |
+//! | [`discord`] | `egi-discord` | FFT plans + shared-spectrum MASS, matrix profile (diagonal-parallel STOMP, STAMP), HOTSAX |
 //! | [`eval`] | `egi-eval` | metrics and the experiment harness for every table/figure |
 
 pub use egi_core as core;
@@ -46,12 +46,14 @@ pub use egi_tskit as tskit;
 /// Convenient glob-import surface for applications.
 pub mod prelude {
     pub use egi_core::{
-        AnomalyReport, Candidate, EnsembleConfig, EnsembleDetector, GiConfig,
-        MultiWindowConfig, MultiWindowEnsemble, RuleDensityCurve, SingleGiDetector,
+        AnomalyReport, Candidate, EnsembleConfig, EnsembleDetector, GiConfig, MultiWindowConfig,
+        MultiWindowEnsemble, RuleDensityCurve, SingleGiDetector,
     };
-    pub use egi_discord::{DiscordConfig, DiscordDetector, MatrixProfile};
+    pub use egi_discord::{
+        DiscordConfig, DiscordDetector, FftPlan, MassPrecomputed, MatrixProfile, RealFftPlan,
+    };
     pub use egi_sax::{NumerosityReduced, SaxConfig, SaxWord};
     pub use egi_sequitur::{Grammar, Sequitur};
-    pub use egi_tskit::{CorpusSpec, LabeledSeries, TimeSeries};
     pub use egi_tskit::gen::UcrFamily;
+    pub use egi_tskit::{CorpusSpec, LabeledSeries, TimeSeries};
 }
