@@ -7,6 +7,11 @@
 //! * **STAMP** — full run, naive per-query-FFT path vs shared-spectrum
 //!   path (the ≥ 2× acceptance gate of the shared-spectrum work);
 //! * **STOMP** — diagonal-parallel kernel across worker counts;
+//! * **Anytime STAMP** — convergence trajectory: wall-clock and
+//!   fraction-of-profile-settled at query budgets from 5% to 100%
+//!   (finished run asserted bit-identical to `stamp_with_exclusion`);
+//! * **Parallel STAMP** — `AnytimeStamp::finish_parallel` across worker
+//!   counts (each asserted bit-identical to the sequential profile);
 //! * **Ensemble** — `EnsembleDetector::detect`, serial vs parallel.
 //!
 //! Writes `BENCH_discord.json` into the current directory (override with
@@ -17,6 +22,7 @@ use std::time::Instant;
 
 use egi_bench::fixture_ecg;
 use egi_core::{EnsembleConfig, EnsembleDetector};
+use egi_discord::anytime::AnytimeStamp;
 use egi_discord::dist::WindowStats;
 use egi_discord::mass::{mass_self, MassPrecomputed, MassScratch};
 use egi_discord::stamp::{stamp_per_query_fft, stamp_with_exclusion};
@@ -231,6 +237,76 @@ fn main() {
         ));
     }
 
+    // Anytime STAMP: convergence trajectory. Queries run in the seeded
+    // random order; at each budget we record cumulative query-processing
+    // wall-clock (snapshot clones excluded from the timer) and
+    // (post-hoc, against the finished profile) the fraction of entries
+    // already settled to final.
+    let anytime_seed = 0xA17u64;
+    let settle_tol = 1e-6f64;
+    let fractions = [0.05f64, 0.10, 0.25, 0.50, 1.00];
+    let mut driver = AnytimeStamp::with_seed(&series, m, exclusion, anytime_seed);
+    let mut snapshots = Vec::new();
+    let mut anytime_secs = 0.0;
+    for &frac in &fractions {
+        let target = ((count as f64) * frac).round() as usize;
+        let (secs, _) = seconds(|| driver.run_for(target.saturating_sub(driver.processed())));
+        anytime_secs += secs;
+        snapshots.push((frac, driver.processed(), anytime_secs, driver.snapshot()));
+    }
+    let anytime_final = driver.finish();
+    assert_eq!(
+        anytime_final.profile, fast_mp.profile,
+        "anytime STAMP profile deviates from sequential STAMP"
+    );
+    assert_eq!(
+        anytime_final.index, fast_mp.index,
+        "anytime STAMP index deviates from sequential STAMP"
+    );
+    let mut anytime_rows = Vec::new();
+    for (frac, queries, secs, snap) in &snapshots {
+        let settled = snap
+            .profile
+            .iter()
+            .zip(&anytime_final.profile)
+            .filter(|(partial, full)| (**partial - **full).abs() < settle_tol)
+            .count();
+        let settled_frac = settled as f64 / count as f64;
+        eprintln!(
+            "ANYTIME {:>3.0}% of queries ({queries}): {secs:.3}s, {:.1}% of profile settled",
+            frac * 100.0,
+            settled_frac * 100.0
+        );
+        anytime_rows.push(format!(
+            "    {{ \"fraction\": {frac}, \"queries\": {queries}, \"secs\": {secs:.6}, \
+             \"settled_frac\": {settled_frac:.4} }}"
+        ));
+    }
+
+    // Parallel STAMP: batch mode across worker counts, each run pinned
+    // bit-identical to the sequential profile.
+    let mut pstamp_rows = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let (secs, mp) = seconds(|| {
+            pool.install(|| {
+                AnytimeStamp::with_seed(&series, m, exclusion, anytime_seed).finish_parallel()
+            })
+        });
+        assert_eq!(
+            mp.profile, fast_mp.profile,
+            "parallel STAMP ({threads} workers) deviates from sequential"
+        );
+        assert_eq!(mp.index, fast_mp.index);
+        eprintln!("PSTAMP {threads} worker(s): {secs:.3}s");
+        pstamp_rows.push(format!(
+            "    {{ \"threads\": {threads}, \"secs\": {secs:.6} }}"
+        ));
+    }
+
     // Ensemble detection: serial vs parallel members.
     let (ens_len, ens_window, ens_members) = if quick {
         (8_000, 128, 10)
@@ -264,6 +340,10 @@ fn main() {
          \"per_query_rfft_secs\": {stamp_naive_secs:.6},\n    \"shared_spectrum_secs\": {stamp_fast_secs:.6},\n    \
          \"speedup_vs_seed\": {stamp_speedup:.3},\n    \"speedup_vs_rfft\": {stamp_speedup_rfft:.3}\n  }},\n  \
          \"stomp\": {{\n    \"series_len\": {series_len},\n    \"m\": {m},\n    \"runs\": [\n{stomp_rows}\n    ]\n  }},\n  \
+         \"anytime\": {{\n    \"series_len\": {series_len},\n    \"m\": {m},\n    \
+         \"order_seed\": {anytime_seed},\n    \"settle_tol\": {settle_tol:e},\n    \
+         \"snapshots\": [\n{anytime_rows}\n    ]\n  }},\n  \
+         \"parallel_stamp\": {{\n    \"series_len\": {series_len},\n    \"m\": {m},\n    \"runs\": [\n{pstamp_rows}\n    ]\n  }},\n  \
          \"ensemble\": {{\n    \"series_len\": {ens_len},\n    \"window\": {ens_window},\n    \
          \"members\": {ens_members},\n    \"serial_secs\": {ens_serial_secs:.6},\n    \
          \"parallel_secs\": {ens_parallel_secs:.6}\n  }}\n}}\n",
@@ -273,6 +353,8 @@ fn main() {
         stamp_speedup = stamp_seed_secs / stamp_fast_secs,
         stamp_speedup_rfft = stamp_naive_secs / stamp_fast_secs,
         stomp_rows = stomp_rows.join(",\n"),
+        anytime_rows = anytime_rows.join(",\n"),
+        pstamp_rows = pstamp_rows.join(",\n"),
     );
     std::fs::write(&out_path, json).expect("write bench json");
     eprintln!("wrote {out_path}");

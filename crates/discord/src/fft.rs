@@ -15,10 +15,21 @@
 //! * Convolution/correlation helpers: [`convolve_real`] and
 //!   [`sliding_dot_products`] (the MASS kernel), both running on cached
 //!   real plans.
+//! * A **global plan cache** ([`cached_plan`] / [`cached_real_plan`]):
+//!   one shared `Arc` plan per transform size, behind a mutexed map.
+//!   Plan construction (`O(n)` tables plus trigonometry) used to be paid
+//!   on *every* call by the one-shot entry points — the HOTSAX oracle,
+//!   STOMP's seed row, eval's scalability sweeps; now each size is built
+//!   once per process and handed out by refcount. The mutex guards only
+//!   the map lookup (transforms themselves run lock-free on `&self`), so
+//!   the cache is shared safely across rayon workers.
 //!
 //! `MassPrecomputed` in [`crate::mass`] builds on `RealFftPlan` to
 //! transform a series **once** and answer every query against the cached
 //! spectrum.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A complex number as a bare `(re, im)` pair.
 pub type Complex = (f64, f64);
@@ -274,17 +285,61 @@ impl RealFftPlan {
     }
 }
 
+static COMPLEX_PLANS: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+static REAL_PLANS: OnceLock<Mutex<HashMap<usize, Arc<RealFftPlan>>>> = OnceLock::new();
+
+/// Locks a plan-cache map, recovering from poisoning: sizes are
+/// validated *before* the lock is taken, so a panic can never leave the
+/// map mid-mutation (`or_insert_with` inserts only after the plan builds
+/// successfully).
+fn lock_cache<T>(
+    cache: &Mutex<HashMap<usize, Arc<T>>>,
+) -> std::sync::MutexGuard<'_, HashMap<usize, Arc<T>>> {
+    cache
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The process-wide shared [`FftPlan`] for size `n`, built on first
+/// request and reused (by `Arc`) ever after.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+pub fn cached_plan(n: usize) -> Arc<FftPlan> {
+    assert!(n.is_power_of_two(), "FFT size {n} not a power of two");
+    let cache = COMPLEX_PLANS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = lock_cache(cache);
+    Arc::clone(map.entry(n).or_insert_with(|| Arc::new(FftPlan::new(n))))
+}
+
+/// The process-wide shared [`RealFftPlan`] for size `n`, built on first
+/// request and reused (by `Arc`) ever after.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `n` is not a power of two.
+pub fn cached_real_plan(n: usize) -> Arc<RealFftPlan> {
+    assert!(n >= 2 && n.is_power_of_two(), "real FFT size {n} invalid");
+    let cache = REAL_PLANS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = lock_cache(cache);
+    Arc::clone(
+        map.entry(n)
+            .or_insert_with(|| Arc::new(RealFftPlan::new(n))),
+    )
+}
+
 /// In-place FFT (`inverse = false`) or unscaled inverse FFT
 /// (`inverse = true`; divide by `len` afterwards to invert).
 ///
-/// Legacy entry point building a throwaway [`FftPlan`]; hot paths hold a
-/// plan instead.
+/// Legacy entry point; runs on the global plan cache, so repeated calls
+/// at one size no longer rebuild tables.
 ///
 /// # Panics
 ///
 /// Panics if `buf.len()` is not a power of two.
 pub fn fft_in_place(buf: &mut [Complex], inverse: bool) {
-    let plan = FftPlan::new(buf.len());
+    let plan = cached_plan(buf.len());
     if inverse {
         plan.inverse_unscaled(buf);
     } else {
@@ -302,7 +357,7 @@ pub fn convolve_real(a: &[f64], b: &[f64]) -> Vec<f64> {
     }
     let out_len = a.len() + b.len() - 1;
     let size = next_pow2(out_len).max(2);
-    let plan = RealFftPlan::new(size);
+    let plan = cached_real_plan(size);
     let mut padded = vec![0.0; size];
     let mut scratch = Vec::new();
     let mut spec_a = Vec::new();
@@ -338,7 +393,7 @@ pub fn sliding_dot_products(query: &[f64], series: &[f64]) -> Vec<f64> {
     assert!(m > 0, "empty query");
     assert!(m <= n, "query longer than series");
     let size = next_pow2(n).max(2);
-    let plan = RealFftPlan::new(size);
+    let plan = cached_real_plan(size);
     let mut scratch = Vec::new();
     let mut padded = vec![0.0; size];
     padded[..n].copy_from_slice(series);
@@ -522,6 +577,31 @@ mod tests {
         let out = sliding_dot_products(&series, &series);
         assert_eq!(out.len(), 1);
         assert!((out[0] - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_cache_reuses_one_plan_per_size() {
+        let a = cached_real_plan(256);
+        let b = cached_real_plan(256);
+        assert!(Arc::ptr_eq(&a, &b), "same size must share one plan");
+        let c = cached_real_plan(512);
+        assert!(!Arc::ptr_eq(&a, &c));
+        let d = cached_plan(64);
+        let e = cached_plan(64);
+        assert!(Arc::ptr_eq(&d, &e));
+    }
+
+    #[test]
+    fn plan_cache_is_share_safe_across_threads() {
+        let plans: Vec<Arc<RealFftPlan>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| cached_real_plan(1024)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for pair in plans.windows(2) {
+            assert!(Arc::ptr_eq(&pair[0], &pair[1]));
+        }
     }
 
     #[test]

@@ -10,30 +10,15 @@
 
 use egi_sax::{BreakpointTable, SaxConfig};
 
+use crate::anytime::pseudo_random_order;
 use crate::dist::WindowStats;
 use crate::profile::Discord;
 
-/// Deterministic pseudo-random permutation of `0..n` (SplitMix-based),
-/// used for the inner-loop visit order where HOTSAX prescribes "random".
-fn pseudo_random_order(n: usize, seed: u64) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..n).collect();
-    let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
-    let mut next = || {
-        state = state.wrapping_add(0x9e3779b97f4a7c15);
-        let mut z = state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-        z ^ (z >> 31)
-    };
-    for i in (1..n).rev() {
-        let j = (next() % (i as u64 + 1)) as usize;
-        order.swap(i, j);
-    }
-    order
-}
-
 /// Early-abandoning z-normalized distance between windows `i` and `j`.
-/// Returns `None` as soon as the running sum exceeds `best²`.
+/// Returns `None` as soon as the distance provably reaches `best` —
+/// uniformly across all three branches: a flat-flat pair (exact 0.0), a
+/// flat/non-flat pair (exact `√(2m)`), and the general accumulation
+/// loop all honor the same `d < best ⇔ Some` contract.
 fn znorm_dist_early_abandon(
     series: &[f64],
     ws: &WindowStats,
@@ -45,7 +30,7 @@ fn znorm_dist_early_abandon(
     let (mi, si) = (ws.mu[i], ws.sigma[i]);
     let (mj, sj) = (ws.mu[j], ws.sigma[j]);
     if si == 0.0 && sj == 0.0 {
-        return Some(0.0);
+        return if 0.0 < best { Some(0.0) } else { None };
     }
     if si == 0.0 || sj == 0.0 {
         let d = (2.0 * m as f64).sqrt();
@@ -73,12 +58,46 @@ fn znorm_dist_early_abandon(
 /// The non-self-match convention follows the discord definition:
 /// neighbors must satisfy `|i − j| ≥ m`.
 pub fn hotsax_discord(series: &[f64], m: usize, sax: SaxConfig) -> Option<Discord> {
+    hotsax_discord_masked(series, m, sax, &[])
+}
+
+/// Finds the top-`k` non-overlapping discords by repeated masked search.
+///
+/// After each discovery the found interval is masked (its windows can no
+/// longer be *candidates*, though they remain valid as neighbors), and the
+/// search reruns. `O(k)` HOTSAX passes — still far below the quadratic
+/// matrix profile when `k` is small and the data is well-bucketed.
+pub fn hotsax_discords(series: &[f64], m: usize, sax: SaxConfig, k: usize) -> Vec<Discord> {
+    let mut found: Vec<Discord> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let best = hotsax_discord_masked(series, m, sax, &found);
+        match best {
+            Some(d) => found.push(d),
+            None => break,
+        }
+    }
+    found
+}
+
+/// One HOTSAX pass skipping candidates that overlap `masked` intervals
+/// (the shared search body; [`hotsax_discord`] is the empty-mask case).
+fn hotsax_discord_masked(
+    series: &[f64],
+    m: usize,
+    sax: SaxConfig,
+    masked: &[Discord],
+) -> Option<Discord> {
     let n = series.len();
     if m == 0 || n < 2 * m {
         return None;
     }
     let ws = WindowStats::new(series, m);
     let count = ws.count();
+    let is_masked = |i: usize| {
+        masked
+            .iter()
+            .any(|d| egi_tskit::window::intervals_overlap(d.start, d.len, i, m))
+    };
 
     // SAX-bucket every window (direct PAA per window is fine here: this
     // runs once, and HOTSAX's value is the search-order heuristic).
@@ -103,108 +122,6 @@ pub fn hotsax_discord(series: &[f64], m: usize, sax: SaxConfig) -> Option<Discor
     }
 
     // Outer order: ascending bucket frequency, then position.
-    let mut outer: Vec<usize> = (0..count).collect();
-    outer.sort_by_key(|&i| (freq[&words[i]], i));
-    let random_order = pseudo_random_order(count, 0xD15C0BD);
-
-    let mut best = Discord {
-        start: 0,
-        len: m,
-        distance: -1.0,
-    };
-    for &i in &outer {
-        let mut nn = f64::INFINITY;
-        let mut abandoned = false;
-
-        // Same-bucket neighbors first.
-        let same = buckets[&words[i]].iter().copied();
-        let rest = random_order.iter().copied();
-        for j in same.chain(rest) {
-            if i.abs_diff(j) < m {
-                continue;
-            }
-            if let Some(d) = znorm_dist_early_abandon(series, &ws, i, j, nn) {
-                if d < nn {
-                    nn = d;
-                }
-            }
-            // If the nearest neighbor is already closer than the best
-            // discord distance, i cannot be the discord.
-            if nn <= best.distance {
-                abandoned = true;
-                break;
-            }
-        }
-        if !abandoned && nn.is_finite() && nn > best.distance {
-            best = Discord {
-                start: i,
-                len: m,
-                distance: nn,
-            };
-        }
-    }
-    if best.distance >= 0.0 {
-        Some(best)
-    } else {
-        None
-    }
-}
-
-/// Finds the top-`k` non-overlapping discords by repeated masked search.
-///
-/// After each discovery the found interval is masked (its windows can no
-/// longer be *candidates*, though they remain valid as neighbors), and the
-/// search reruns. `O(k)` HOTSAX passes — still far below the quadratic
-/// matrix profile when `k` is small and the data is well-bucketed.
-pub fn hotsax_discords(series: &[f64], m: usize, sax: SaxConfig, k: usize) -> Vec<Discord> {
-    let mut found: Vec<Discord> = Vec::with_capacity(k);
-    for _ in 0..k {
-        let best = hotsax_discord_masked(series, m, sax, &found);
-        match best {
-            Some(d) => found.push(d),
-            None => break,
-        }
-    }
-    found
-}
-
-/// One HOTSAX pass skipping candidates that overlap `masked` intervals.
-fn hotsax_discord_masked(
-    series: &[f64],
-    m: usize,
-    sax: SaxConfig,
-    masked: &[Discord],
-) -> Option<Discord> {
-    let n = series.len();
-    if m == 0 || n < 2 * m {
-        return None;
-    }
-    let ws = WindowStats::new(series, m);
-    let count = ws.count();
-    let is_masked = |i: usize| {
-        masked
-            .iter()
-            .any(|d| egi_tskit::window::intervals_overlap(d.start, d.len, i, m))
-    };
-
-    let table = BreakpointTable::new(sax.a);
-    let mut words: Vec<u64> = Vec::with_capacity(count);
-    for i in 0..count {
-        let word = egi_sax::sax_word(&series[i..i + m], sax, &table);
-        let mut key: u64 = 0;
-        for &s in word.symbols() {
-            key = key * sax.a as u64 + s as u64;
-        }
-        words.push(key);
-    }
-    let mut freq: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
-    for &w in &words {
-        *freq.entry(w).or_insert(0) += 1;
-    }
-    let mut buckets: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
-    for (i, &w) in words.iter().enumerate() {
-        buckets.entry(w).or_default().push(i);
-    }
     let mut outer: Vec<usize> = (0..count).filter(|&i| !is_masked(i)).collect();
     outer.sort_by_key(|&i| (freq[&words[i]], i));
     let random_order = pseudo_random_order(count, 0xD15C0BD);
@@ -218,8 +135,16 @@ fn hotsax_discord_masked(
     for &i in &outer {
         let mut nn = f64::INFINITY;
         let mut abandoned = false;
+        // Same-bucket neighbors first (likely close — early abandon
+        // fast), then everything else in pseudo-random order. The
+        // second pass must *skip* same-bucket windows: they were
+        // already visited, and re-measuring every one of them doubled
+        // the inner-loop work on series dominated by one bucket.
         let same = buckets[&words[i]].iter().copied();
-        let rest = random_order.iter().copied();
+        let rest = random_order
+            .iter()
+            .copied()
+            .filter(|&j| words[j] != words[i]);
         for j in same.chain(rest) {
             if i.abs_diff(j) < m {
                 continue;
@@ -229,6 +154,8 @@ fn hotsax_discord_masked(
                     nn = d;
                 }
             }
+            // If the nearest neighbor is already closer than the best
+            // discord distance, i cannot be the discord.
             if nn <= best.distance {
                 abandoned = true;
                 break;
@@ -338,12 +265,49 @@ mod tests {
         assert!(crate::hotsax::hotsax_discords(&series, 20, SaxConfig::new(3, 3), 0).is_empty());
     }
 
+    /// The second (random-order) pass must skip same-bucket windows —
+    /// already visited in the first pass — without changing the result.
     #[test]
-    fn pseudo_random_order_is_a_permutation() {
-        let order = pseudo_random_order(100, 42);
-        let mut sorted = order.clone();
-        sorted.sort_unstable();
-        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(order, (0..100).collect::<Vec<_>>());
+    fn masked_delegate_and_skip_preserve_results() {
+        let series = periodic_with_outlier(400, 20);
+        let hs = hotsax_discord(&series, 20, SaxConfig::new(3, 3)).unwrap();
+        let masked_empty = super::hotsax_discord_masked(&series, 20, SaxConfig::new(3, 3), &[]);
+        assert_eq!(Some(hs), masked_empty);
+    }
+
+    /// All three early-abandon branches honor the `d < best ⇔ Some`
+    /// contract, including the flat-flat branch that used to return
+    /// `Some(0.0)` even when `best` was already 0.
+    #[test]
+    fn early_abandon_honors_threshold_in_flat_branches() {
+        let mut series = vec![2.0; 10];
+        series.extend((0..10).map(|i| (i as f64 * 0.8).sin()));
+        series.extend(vec![5.0; 10]);
+        let ws = WindowStats::new(&series, 10);
+        // Windows 0 and 20 are both flat: distance exactly 0.0.
+        assert_eq!(
+            znorm_dist_early_abandon(&series, &ws, 0, 20, 1.0),
+            Some(0.0)
+        );
+        assert_eq!(znorm_dist_early_abandon(&series, &ws, 0, 20, 0.0), None);
+        // Flat vs wavy: exactly √(2m).
+        let d = (2.0f64 * 10.0).sqrt();
+        assert_eq!(
+            znorm_dist_early_abandon(&series, &ws, 0, 10, d + 1e-9),
+            Some(d)
+        );
+        assert_eq!(znorm_dist_early_abandon(&series, &ws, 0, 10, d), None);
+        // General branch (windows 10 and 11 are both non-flat):
+        // abandons once the accumulated sum reaches best².
+        let full = znorm_dist_early_abandon(&series, &ws, 10, 11, f64::INFINITY).unwrap();
+        assert!(full > 0.0);
+        assert_eq!(
+            znorm_dist_early_abandon(&series, &ws, 10, 11, full * 0.5),
+            None
+        );
+        assert_eq!(
+            znorm_dist_early_abandon(&series, &ws, 10, 11, full + 1e-9),
+            Some(full)
+        );
     }
 }

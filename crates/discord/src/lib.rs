@@ -22,6 +22,12 @@
 //!   paper benchmarks against (Fig. 8).
 //! * [`mod@stamp`] — STAMP \[21\]: MASS-per-query matrix profile, running on
 //!   the shared spectrum.
+//! * [`anytime`] — [`AnytimeStamp`]: STAMP's anytime property as a
+//!   first-class API — seeded random query order, deadline-style
+//!   stepping with monotonically converging snapshots, and a
+//!   rayon-parallel batch mode; finished profiles are bit-identical to
+//!   sequential [`stamp()`](stamp::stamp) for every seed, permutation,
+//!   and worker count.
 //! * [`hotsax`] — the original HOTSAX discord search \[9\] with SAX-bucket
 //!   outer-loop ordering and early abandoning.
 //! * [`detector`] — [`DiscordDetector`]: the "Discord" baseline of the
@@ -30,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod anytime;
 pub mod brute;
 pub mod detector;
 pub mod dist;
@@ -40,6 +47,7 @@ pub mod profile;
 pub mod stamp;
 pub mod stomp;
 
+pub use anytime::{stamp_parallel, AnytimeStamp};
 pub use detector::{DiscordConfig, DiscordDetector};
 pub use fft::{FftPlan, RealFftPlan};
 pub use hotsax::{hotsax_discord, hotsax_discords};

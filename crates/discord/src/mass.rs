@@ -15,8 +15,12 @@
 //!   cached spectrum, instead of the three full transforms the naive
 //!   path pays. STAMP and STOMP's seed row run through this.
 
+use std::sync::Arc;
+
 use crate::dist::WindowStats;
-use crate::fft::{c_conj, c_mul, next_pow2, sliding_dot_products, Complex, RealFftPlan};
+use crate::fft::{
+    c_conj, c_mul, cached_real_plan, next_pow2, sliding_dot_products, Complex, RealFftPlan,
+};
 
 /// Distance profile of `series[q..q+m]` against all windows of `series`.
 ///
@@ -82,8 +86,9 @@ pub struct MassScratch {
 /// queries.
 ///
 /// Construction pads the series to the next power of two, runs a single
-/// packed-real forward FFT, and caches the spectrum plus the per-window
-/// statistics. [`MassPrecomputed::distance_profile_into`] then answers
+/// packed-real forward FFT (on the process-wide plan from
+/// [`cached_real_plan`], shared with every other caller at that size),
+/// and caches the spectrum plus the per-window statistics. [`MassPrecomputed::distance_profile_into`] then answers
 /// each self-join query with one half-size forward transform of the
 /// padded query, a pointwise conjugate multiply against the cached
 /// spectrum, and one half-size inverse transform — the cross-correlation
@@ -93,7 +98,7 @@ pub struct MassPrecomputed {
     series: Vec<f64>,
     m: usize,
     size: usize,
-    plan: RealFftPlan,
+    plan: Arc<RealFftPlan>,
     series_spec: Vec<Complex>,
     stats: WindowStats,
 }
@@ -108,7 +113,7 @@ impl MassPrecomputed {
     pub fn new(series: &[f64], m: usize) -> Self {
         let stats = WindowStats::new(series, m);
         let size = next_pow2(series.len()).max(2);
-        let plan = RealFftPlan::new(size);
+        let plan = cached_real_plan(size);
         let mut padded = vec![0.0; size];
         padded[..series.len()].copy_from_slice(series);
         let mut series_spec = Vec::new();

@@ -1,6 +1,26 @@
-//! The matrix profile type and discord extraction.
+//! The matrix profile type, discord extraction, and the shared
+//! `(distance, index)` tie-break rule.
 
 use egi_tskit::window::intervals_overlap;
+
+/// `(distance, index)` lexicographic improvement: `(d, idx)` beats
+/// `(best_d, best_idx)` iff it is strictly smaller under the total order
+/// *distance first, neighbor index second*.
+///
+/// Every profile fold in this crate (STOMP's diagonal merge, STAMP's
+/// per-query fold, the anytime/parallel STAMP partial-profile merge) uses
+/// this single rule. Because min-folding under a total order is
+/// commutative and associative, any processing order — row sweep,
+/// diagonal chunks, random query permutations, per-thread partials —
+/// produces the *same* profile and index vectors, including on exact
+/// distance ties (the smallest neighbor index wins).
+///
+/// A fresh slot is `(f64::INFINITY, usize::MAX)`: any finite distance
+/// improves it.
+#[inline]
+pub fn improves(d: f64, idx: usize, best_d: f64, best_idx: usize) -> bool {
+    d < best_d || (d == best_d && idx < best_idx)
+}
 
 /// A discord: a subsequence whose nearest non-self neighbor is far away.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -113,6 +133,28 @@ mod tests {
         let d = p.discords(3);
         assert_eq!(d.len(), 2);
         assert_eq!(d[0].start, 1);
+    }
+
+    #[test]
+    fn improves_is_lexicographic() {
+        // Strictly smaller distance wins regardless of index.
+        assert!(improves(1.0, 99, 2.0, 0));
+        assert!(!improves(2.0, 0, 1.0, 99));
+        // Equal distance: smaller index wins.
+        assert!(improves(1.0, 3, 1.0, 7));
+        assert!(!improves(1.0, 7, 1.0, 3));
+        assert!(!improves(1.0, 5, 1.0, 5));
+        // Fresh slot is beaten by any finite distance.
+        assert!(improves(1e300, 0, f64::INFINITY, usize::MAX));
+        // inf == inf in IEEE, so even infinite ties fall through to the
+        // index comparison — still a total order, never a cycle.
+        assert!(improves(f64::INFINITY, 0, f64::INFINITY, usize::MAX));
+        assert!(!improves(
+            f64::INFINITY,
+            usize::MAX,
+            f64::INFINITY,
+            usize::MAX
+        ));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use crate::dist::WindowStats;
 use crate::mass::{mass_self, MassPrecomputed, MassScratch};
-use crate::profile::MatrixProfile;
+use crate::profile::{improves, MatrixProfile};
 use crate::stomp::default_exclusion;
 
 /// Computes the matrix profile via STAMP with exclusion half-width
@@ -67,8 +67,18 @@ pub fn stamp_per_query_fft(series: &[f64], m: usize, exclusion: usize) -> Matrix
 }
 
 /// Folds one query's distance profile into the running matrix profile,
-/// updating both ends of every admissible pair.
-fn update_from_profile(
+/// updating both ends of every admissible pair under the shared
+/// [`improves`] rule.
+///
+/// The `(distance, index)` tie-break matters here: with a strict `<`
+/// fold, the index vector would depend on the order queries are
+/// processed in (ties keep whichever query arrived first) — breaking
+/// the anytime/parallel STAMP contract and disagreeing with STOMP on
+/// exact ties. The lexicographic fold is order-independent, so STAMP,
+/// anytime STAMP in any permutation, and parallel STAMP at any thread
+/// count all land on the same index vector. Shared with
+/// [`crate::anytime`].
+pub(crate) fn update_from_profile(
     q: usize,
     dp: &[f64],
     exclusion: usize,
@@ -80,11 +90,11 @@ fn update_from_profile(
             continue;
         }
         // Update both ends: d(q, j) bounds profile[q] and profile[j].
-        if d < profile[q] {
+        if improves(d, j, profile[q], index[q]) {
             profile[q] = d;
             index[q] = j;
         }
-        if d < profile[j] {
+        if improves(d, q, profile[j], index[j]) {
             profile[j] = d;
             index[j] = q;
         }
@@ -154,6 +164,49 @@ mod tests {
                     fast.profile[i],
                     naive.profile[i]
                 );
+            }
+        }
+    }
+
+    /// Exact distance ties (flat windows pair at exactly 0.0) must
+    /// resolve to the same neighbor index in STAMP and STOMP: the
+    /// smallest admissible index, per the shared `improves` rule. The
+    /// old strict-`<` fold kept whichever query was processed first,
+    /// so STAMP's index vector silently depended on query order.
+    #[test]
+    fn exact_ties_resolve_to_smallest_index() {
+        // Three flat plateaus separated by wavy filler: every pair of
+        // fully-flat windows is at distance exactly 0.0.
+        let mut series = Vec::new();
+        series.extend(std::iter::repeat_n(1.0, 8));
+        series.extend((0..8).map(|i| (i as f64 * 0.9).sin()));
+        series.extend(std::iter::repeat_n(5.0, 8));
+        series.extend((0..8).map(|i| (i as f64 * 1.3).cos()));
+        series.extend(std::iter::repeat_n(2.0, 8));
+        let m = 4;
+        let exc = m / 2;
+        let a = stamp_with_exclusion(&series, m, exc);
+        let b = stomp_with_exclusion(&series, m, exc);
+        let tied: Vec<usize> = (0..a.len()).filter(|&i| b.profile[i] == 0.0).collect();
+        assert!(tied.len() > 3, "expected several exact ties, got {tied:?}");
+        let ws = WindowStats::new(&series, m);
+        for &i in &tied {
+            assert_eq!(a.profile[i], 0.0, "window {i}");
+            assert_eq!(
+                a.index[i], b.index[i],
+                "window {i}: STAMP picked {} but STOMP picked {}",
+                a.index[i], b.index[i]
+            );
+            // The winner is the *smallest* admissible index at distance 0.
+            for j in 0..a.len() {
+                if i.abs_diff(j) > exc && j < a.index[i] {
+                    let flat_pair = ws.sigma[i] == 0.0 && ws.sigma[j] == 0.0;
+                    assert!(
+                        !flat_pair,
+                        "window {i}: {j} ties at 0.0 but lost to {}",
+                        a.index[i]
+                    );
+                }
             }
         }
     }

@@ -26,20 +26,13 @@
 
 use crate::dist::WindowStats;
 use crate::fft::sliding_dot_products;
-use crate::profile::MatrixProfile;
+use crate::profile::{improves, MatrixProfile};
 use rayon::prelude::*;
 
 /// Default exclusion half-width: `m/2`, the usual matrix profile
 /// convention (trivial matches share more than half their points).
 pub fn default_exclusion(m: usize) -> usize {
     (m / 2).max(1)
-}
-
-/// `(distance, index)` lexicographic improvement: the deterministic
-/// tie-break that makes parallel merging order-independent.
-#[inline]
-fn improves(d: f64, idx: usize, best_d: f64, best_idx: usize) -> bool {
-    d < best_d || (d == best_d && idx < best_idx)
 }
 
 /// One chunk of diagonals folded into a local profile.

@@ -5,6 +5,7 @@
 //! other and with the brute-force oracle over random inputs is the
 //! strongest correctness evidence available without external fixtures.
 
+use egi_discord::anytime::AnytimeStamp;
 use egi_discord::brute::brute_force;
 use egi_discord::dist::WindowStats;
 use egi_discord::mass::{mass_self, MassPrecomputed};
@@ -123,6 +124,88 @@ proptest! {
             .install(|| stomp_with_exclusion(&series, m, m / 2));
         prop_assert_eq!(&single.profile, &multi.profile);
         prop_assert_eq!(&single.index, &multi.index);
+    }
+
+    /// Anytime STAMP, for *every* query permutation (seed), finishes on
+    /// a profile and index vector bit-identical to sequential STAMP —
+    /// and within 1e-5 of STOMP: the whole point of the shared
+    /// `(distance, index)` fold.
+    #[test]
+    fn anytime_any_permutation_matches_stamp_and_stomp(
+        series in series_strategy(),
+        m in 4usize..16,
+        seed in 0u64..1_000_000_000,
+    ) {
+        prop_assume!(series.len() >= 2 * m);
+        let exc = m / 2;
+        let reference = stamp_with_exclusion(&series, m, exc);
+        let finished = AnytimeStamp::with_seed(&series, m, exc, seed).finish();
+        prop_assert_eq!(&finished.profile, &reference.profile);
+        prop_assert_eq!(&finished.index, &reference.index);
+        let stomp = stomp_with_exclusion(&series, m, exc);
+        for i in 0..finished.len() {
+            let (x, y) = (finished.profile[i], stomp.profile[i]);
+            let equal = (x.is_infinite() && y.is_infinite()) || (x - y).abs() < 1e-5;
+            prop_assert!(equal, "i={}: {} vs {}", i, x, y);
+        }
+    }
+
+    /// Parallel STAMP is bit-identical to sequential STAMP for every
+    /// worker count, seed, and partial sequential prefix (mixing
+    /// `run_for` stepping with a parallel finish).
+    #[test]
+    fn anytime_parallel_finish_deterministic(
+        series in series_strategy(),
+        m in 4usize..12,
+        seed in 0u64..1_000_000_000,
+        threads in 2usize..9,
+        prefix_pct in 0usize..100,
+    ) {
+        prop_assume!(series.len() >= 2 * m);
+        let exc = m / 2;
+        let reference = stamp_with_exclusion(&series, m, exc);
+        let mut driver = AnytimeStamp::with_seed(&series, m, exc, seed);
+        driver.run_for(driver.window_count() * prefix_pct / 100);
+        let finished = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| driver.finish_parallel());
+        prop_assert_eq!(&finished.profile, &reference.profile);
+        prop_assert_eq!(&finished.index, &reference.index);
+    }
+
+    /// Partial anytime profiles converge monotonically: pointwise
+    /// non-increasing in the number of processed queries, and always an
+    /// upper bound on the finished profile.
+    #[test]
+    fn anytime_snapshots_monotone_and_upper_bound(
+        series in series_strategy(),
+        m in 4usize..12,
+        seed in 0u64..1_000_000_000,
+        chunk in 1usize..30,
+    ) {
+        prop_assume!(series.len() >= 2 * m);
+        let exc = m / 2;
+        let reference = stamp_with_exclusion(&series, m, exc);
+        let mut driver = AnytimeStamp::with_seed(&series, m, exc, seed);
+        let mut previous = driver.snapshot();
+        while driver.run_for(chunk) > 0 {
+            let current = driver.snapshot();
+            for i in 0..current.len() {
+                prop_assert!(
+                    current.profile[i] <= previous.profile[i],
+                    "entry {} rose after {} queries", i, driver.processed()
+                );
+                prop_assert!(
+                    current.profile[i] >= reference.profile[i],
+                    "entry {} undershot the final profile", i
+                );
+            }
+            previous = current;
+        }
+        prop_assert_eq!(&previous.profile, &reference.profile);
+        prop_assert_eq!(&previous.index, &reference.index);
     }
 
     /// Scaling and shifting the series leaves the (z-normalized) matrix

@@ -230,12 +230,14 @@ fn cmd_fig8(sink: &ReportSink, p: &ExperimentParams, cli: &Cli) {
     let cols: Vec<f64> = points.iter().map(|pt| pt.len as f64).collect();
     let ens: Vec<f64> = points.iter().map(|pt| pt.ensemble_secs).collect();
     let sto: Vec<f64> = points.iter().map(|pt| pt.stomp_secs).collect();
+    let any10: Vec<f64> = points.iter().map(|pt| pt.anytime10_secs).collect();
     egi_tskit::io::write_columns(
         sink.dir().join("fig8.csv"),
         &[
             ("length", &cols),
             ("ensemble_secs", &ens),
             ("stomp_secs", &sto),
+            ("anytime10_secs", &any10),
         ],
     )
     .unwrap();

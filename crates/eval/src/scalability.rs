@@ -1,9 +1,12 @@
 //! Figure 8: computation time vs. time series length, ensemble grammar
-//! induction vs. STOMP, on random-walk / ECG-like / EEG-like data.
+//! induction vs. STOMP (plus a 10%-budget anytime-STAMP column showing
+//! what a deadline-bounded partial matrix profile costs), on
+//! random-walk / ECG-like / EEG-like data.
 
 use std::time::Instant;
 
 use egi_core::EnsembleDetector;
+use egi_discord::anytime::AnytimeStamp;
 use egi_discord::stomp;
 use egi_tskit::gen::{ecg_series, eeg_series, random_walk};
 use rand::rngs::StdRng;
@@ -58,6 +61,10 @@ pub struct ScalabilityPoint {
     pub ensemble_secs: f64,
     /// Wall-clock seconds for STOMP.
     pub stomp_secs: f64,
+    /// Wall-clock seconds for anytime STAMP over a 10% query budget
+    /// (partial profile snapshot; subject to the same skip cap as
+    /// STOMP).
+    pub anytime10_secs: f64,
 }
 
 /// Measures both methods over `lengths` for one workload.
@@ -83,7 +90,8 @@ pub fn run_scalability(
         let ensemble_secs = t0.elapsed().as_secs_f64();
         std::hint::black_box(&report);
 
-        let stomp_secs = if skip_stomp_above.map(|cap| len > cap).unwrap_or(false) {
+        let skip_quadratic = skip_stomp_above.map(|cap| len > cap).unwrap_or(false);
+        let stomp_secs = if skip_quadratic {
             f64::NAN
         } else {
             let t0 = Instant::now();
@@ -92,11 +100,22 @@ pub fn run_scalability(
             std::hint::black_box(&mp);
             secs
         };
+        let anytime10_secs = if skip_quadratic {
+            f64::NAN
+        } else {
+            let t0 = Instant::now();
+            let mut driver = AnytimeStamp::new(&series, window);
+            driver.run_for(driver.window_count().div_ceil(10));
+            let secs = t0.elapsed().as_secs_f64();
+            std::hint::black_box(&driver.snapshot());
+            secs
+        };
         out.push(ScalabilityPoint {
             kind: kind.name(),
             len,
             ensemble_secs,
             stomp_secs,
+            anytime10_secs,
         });
     }
     out
@@ -105,7 +124,7 @@ pub fn run_scalability(
 /// Renders Figure 8 data as a markdown table.
 pub fn render_fig8(points: &[ScalabilityPoint]) -> String {
     let mut out = String::from(
-        "| Workload | Length | Ensemble (s) | STOMP (s) | Speedup |\n|---|---|---|---|---|\n",
+        "| Workload | Length | Ensemble (s) | STOMP (s) | Anytime STAMP 10% (s) | Speedup |\n|---|---|---|---|---|---|\n",
     );
     for p in points {
         let speedup = if p.stomp_secs.is_finite() && p.ensemble_secs > 0.0 {
@@ -118,9 +137,14 @@ pub fn render_fig8(points: &[ScalabilityPoint]) -> String {
         } else {
             "skipped".to_string()
         };
+        let anytime = if p.anytime10_secs.is_finite() {
+            format!("{:.3}", p.anytime10_secs)
+        } else {
+            "skipped".to_string()
+        };
         out.push_str(&format!(
-            "| {} | {} | {:.3} | {} | {} |\n",
-            p.kind, p.len, p.ensemble_secs, stomp, speedup
+            "| {} | {} | {:.3} | {} | {} | {} |\n",
+            p.kind, p.len, p.ensemble_secs, stomp, anytime, speedup
         ));
     }
     out
@@ -149,6 +173,7 @@ mod tests {
         assert_eq!(pts.len(), 1);
         assert!(pts[0].ensemble_secs > 0.0);
         assert!(pts[0].stomp_secs > 0.0);
+        assert!(pts[0].anytime10_secs > 0.0);
     }
 
     #[test]
@@ -160,7 +185,10 @@ mod tests {
         let pts = run_scalability(SeriesKind::Eeg, &[1200, 2400], 64, &params, 2, Some(1500));
         assert!(pts[0].stomp_secs.is_finite());
         assert!(pts[1].stomp_secs.is_nan());
+        assert!(pts[0].anytime10_secs.is_finite());
+        assert!(pts[1].anytime10_secs.is_nan());
         let rendered = render_fig8(&pts);
         assert!(rendered.contains("skipped"));
+        assert!(rendered.contains("Anytime STAMP 10%"));
     }
 }
