@@ -12,6 +12,10 @@
 //!   (finished run asserted bit-identical to `stamp_with_exclusion`);
 //! * **Parallel STAMP** — `AnytimeStamp::finish_parallel` across worker
 //!   counts (each asserted bit-identical to the sequential profile);
+//! * **Streaming** — `StreamingDiscordMonitor`: append throughput and
+//!   per-append refresh latency at several chunk sizes, streaming the
+//!   second half of the fixture (caught-up profile asserted
+//!   bit-identical to batch STAMP);
 //! * **Ensemble** — `EnsembleDetector::detect`, serial vs parallel.
 //!
 //! Writes `BENCH_discord.json` into the current directory (override with
@@ -27,6 +31,7 @@ use egi_discord::dist::WindowStats;
 use egi_discord::mass::{mass_self, MassPrecomputed, MassScratch};
 use egi_discord::stamp::{stamp_per_query_fft, stamp_with_exclusion};
 use egi_discord::stomp::stomp_with_exclusion;
+use egi_discord::streaming::StreamingDiscordMonitor;
 
 fn seconds<R>(f: impl FnOnce() -> R) -> (f64, R) {
     let start = Instant::now();
@@ -307,6 +312,57 @@ fn main() {
         ));
     }
 
+    // Streaming monitor: append throughput and per-append refresh
+    // latency at several chunk sizes. Each run warms up on the first
+    // half of the fixture, streams the second half in chunks (append +
+    // refresh of exactly the new windows), then catches up; the caught-
+    // up profile is asserted bit-identical to batch STAMP, so the CI
+    // perf smoke fails on any streaming/batch divergence.
+    let stream_chunks: [usize; 3] = if quick {
+        [32, 128, 512]
+    } else {
+        [64, 256, 1024]
+    };
+    let warm = series_len / 2;
+    let mut streaming_rows = Vec::new();
+    for &chunk in &stream_chunks {
+        let mut monitor = StreamingDiscordMonitor::with_exclusion(m, exclusion);
+        monitor.append(&series[..warm]);
+        let (warm_secs, _) = seconds(|| monitor.run_for(usize::MAX));
+        let mut append_secs = 0.0f64;
+        let mut appends = 0usize;
+        let (mut refresh_total, mut refresh_max) = (0.0f64, 0.0f64);
+        for part in series[warm..].chunks(chunk) {
+            let (a, ()) = seconds(|| monitor.append(part));
+            append_secs += a;
+            appends += 1;
+            let (r, ran) = seconds(|| monitor.run_for(part.len()));
+            assert_eq!(ran, part.len(), "fresh windows must be first in the queue");
+            refresh_total += r;
+            refresh_max = refresh_max.max(r);
+        }
+        let (catchup_secs, finished) = seconds(|| monitor.finish());
+        assert_eq!(
+            finished.profile, fast_mp.profile,
+            "streaming monitor (chunk {chunk}) deviates from batch STAMP"
+        );
+        assert_eq!(finished.index, fast_mp.index);
+        let streamed = series_len - warm;
+        let points_per_sec = streamed as f64 / (append_secs + refresh_total);
+        let refresh_mean = refresh_total / appends as f64;
+        eprintln!(
+            "STREAM chunk {chunk:>4}: {appends} appends, append {append_secs:.3}s, \
+             refresh mean {refresh_mean:.4}s / max {refresh_max:.4}s, \
+             {points_per_sec:.0} pts/s sustained, catch-up {catchup_secs:.3}s"
+        );
+        streaming_rows.push(format!(
+            "    {{ \"chunk\": {chunk}, \"appends\": {appends}, \"warmup_secs\": {warm_secs:.6}, \
+             \"append_secs\": {append_secs:.6}, \"refresh_mean_secs\": {refresh_mean:.6}, \
+             \"refresh_max_secs\": {refresh_max:.6}, \"points_per_sec\": {points_per_sec:.1}, \
+             \"catchup_secs\": {catchup_secs:.6} }}"
+        ));
+    }
+
     // Ensemble detection: serial vs parallel members.
     let (ens_len, ens_window, ens_members) = if quick {
         (8_000, 128, 10)
@@ -344,6 +400,8 @@ fn main() {
          \"order_seed\": {anytime_seed},\n    \"settle_tol\": {settle_tol:e},\n    \
          \"snapshots\": [\n{anytime_rows}\n    ]\n  }},\n  \
          \"parallel_stamp\": {{\n    \"series_len\": {series_len},\n    \"m\": {m},\n    \"runs\": [\n{pstamp_rows}\n    ]\n  }},\n  \
+         \"streaming\": {{\n    \"series_len\": {series_len},\n    \"m\": {m},\n    \
+         \"warmup_points\": {warm},\n    \"runs\": [\n{streaming_rows}\n    ]\n  }},\n  \
          \"ensemble\": {{\n    \"series_len\": {ens_len},\n    \"window\": {ens_window},\n    \
          \"members\": {ens_members},\n    \"serial_secs\": {ens_serial_secs:.6},\n    \
          \"parallel_secs\": {ens_parallel_secs:.6}\n  }}\n}}\n",
@@ -355,6 +413,7 @@ fn main() {
         stomp_rows = stomp_rows.join(",\n"),
         anytime_rows = anytime_rows.join(",\n"),
         pstamp_rows = pstamp_rows.join(",\n"),
+        streaming_rows = streaming_rows.join(",\n"),
     );
     std::fs::write(&out_path, json).expect("write bench json");
     eprintln!("wrote {out_path}");

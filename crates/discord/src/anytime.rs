@@ -13,6 +13,10 @@
 //! * [`AnytimeStamp::run_for`] / [`AnytimeStamp::step`] give
 //!   deadline-style stepping — process a budget of queries, look at the
 //!   [`AnytimeStamp::snapshot`], decide whether to keep going;
+//! * [`AnytimeStamp::run_until`] accepts a wall-clock [`Deadline`]
+//!   (an [`Instant`], a [`Duration`] budget, or a query cap): the
+//!   clock is checked **before** each query, so a deadline is never
+//!   overshot by more than one query's work;
 //! * [`AnytimeStamp::finish_parallel`] fans the remaining queries out
 //!   across rayon workers, each folding into a thread-local partial
 //!   profile, merged under the shared `(distance, index)`
@@ -20,9 +24,10 @@
 //!
 //! # Determinism and convergence guarantees
 //!
-//! The profile fold ([`crate::stamp`]'s `update_from_profile`) is a
+//! The profile fold ([`mod@crate::stamp`]'s `update_from_profile`) is a
 //! min-fold under the total order *(distance, neighbor index)* — see
-//! [`improves`]. Min-folds under a total order are commutative and
+//! [`improves`](crate::profile::improves). Min-folds under a total
+//! order are commutative and
 //! associative, so the finished profile **and index vector** are
 //! bit-identical to sequential [`stamp()`](crate::stamp::stamp) for
 //! *every* seed, every query permutation, every interleaving of `step` /
@@ -38,15 +43,92 @@
 //! an anytime loop cheap enough to be useful — and the entry point for
 //! online discord monitoring later.
 
+use std::time::{Duration, Instant};
+
 use rayon::prelude::*;
 
 use crate::mass::{MassPrecomputed, MassScratch};
-use crate::profile::{improves, MatrixProfile};
+use crate::profile::{merge_min_into, MatrixProfile};
 use crate::stamp::update_from_profile;
 use crate::stomp::default_exclusion;
 
 /// Seed used by [`AnytimeStamp::new`] when the caller does not pick one.
 pub const DEFAULT_ORDER_SEED: u64 = 0x57A4_9A17;
+
+/// A stopping condition for [`AnytimeStamp::run_until`] (and the
+/// streaming monitor's refresh loop): a wall-clock instant, a query
+/// budget, or both.
+///
+/// The driver checks the condition **before** each query, so a
+/// wall-clock deadline is overshot by at most one query's work and an
+/// already-expired deadline runs zero queries.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use egi_discord::anytime::Deadline;
+///
+/// // At most 5 ms of work…
+/// let wall = Deadline::after(Duration::from_millis(5));
+/// // …or at most 100 queries, whichever is hit first.
+/// let capped = wall.with_query_cap(100);
+/// assert!(!capped.expired(0));
+/// assert!(Deadline::queries(10).expired(10));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    at: Option<Instant>,
+    max_queries: usize,
+}
+
+impl Deadline {
+    /// Expires once the wall clock reaches `instant`.
+    pub fn at(instant: Instant) -> Self {
+        Self {
+            at: Some(instant),
+            max_queries: usize::MAX,
+        }
+    }
+
+    /// Expires `budget` from now (the instant is resolved at
+    /// construction, so build the deadline right before running).
+    pub fn after(budget: Duration) -> Self {
+        Self::at(Instant::now() + budget)
+    }
+
+    /// Expires after `n` queries, with no wall-clock bound — the
+    /// query-budget API ([`AnytimeStamp::run_for`]) expressed as a
+    /// deadline.
+    pub fn queries(n: usize) -> Self {
+        Self {
+            at: None,
+            max_queries: n,
+        }
+    }
+
+    /// Never expires (run to completion).
+    pub fn unbounded() -> Self {
+        Self {
+            at: None,
+            max_queries: usize::MAX,
+        }
+    }
+
+    /// Additionally caps the number of queries processed.
+    pub fn with_query_cap(self, n: usize) -> Self {
+        Self {
+            max_queries: self.max_queries.min(n),
+            ..self
+        }
+    }
+
+    /// `true` once the wall clock or the query budget is exhausted,
+    /// given `processed` queries already ran under this deadline.
+    pub fn expired(&self, processed: usize) -> bool {
+        processed >= self.max_queries || self.at.is_some_and(|at| Instant::now() >= at)
+    }
+}
 
 /// Deterministic pseudo-random permutation of `0..n` (SplitMix64-keyed
 /// Fisher–Yates).
@@ -76,6 +158,25 @@ pub fn pseudo_random_order(n: usize, seed: u64) -> Vec<usize> {
 ///
 /// See the [module docs](self) for the determinism and convergence
 /// contract.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use egi_discord::anytime::{AnytimeStamp, Deadline};
+///
+/// let series: Vec<f64> = (0..200).map(|i| (i as f64 * 0.2).sin()).collect();
+/// let mut driver = AnytimeStamp::new(&series, 16);
+///
+/// // Spend at most 2 ms (or 50 queries) tightening the profile…
+/// driver.run_until(Deadline::after(Duration::from_millis(2)).with_query_cap(50));
+/// let partial = driver.snapshot(); // valid upper bound at any point
+///
+/// // …then run to completion: bit-identical to batch `stamp()`.
+/// let finished = driver.finish();
+/// assert_eq!(finished.profile, egi_discord::stamp(&series, 16).profile);
+/// assert!(partial.profile.iter().zip(&finished.profile).all(|(p, f)| p >= f));
+/// ```
 #[derive(Debug, Clone)]
 pub struct AnytimeStamp {
     mass: MassPrecomputed,
@@ -180,11 +281,28 @@ impl AnytimeStamp {
     /// Processes up to `n` further queries; returns how many actually
     /// ran (less than `n` only when the run completed).
     pub fn run_for(&mut self, n: usize) -> usize {
+        self.run_until(Deadline::queries(n))
+    }
+
+    /// Processes queries until `deadline` expires or the run completes;
+    /// returns how many ran.
+    ///
+    /// The deadline is checked **before** each query, so a wall-clock
+    /// deadline is overshot by at most one query's work (one pair of
+    /// half-size real transforms plus the fold) and an already-expired
+    /// deadline runs zero queries — the regression tests pin both.
+    pub fn run_until(&mut self, deadline: Deadline) -> usize {
         let mut ran = 0;
-        while ran < n && self.step() {
+        while !deadline.expired(ran) && self.step() {
             ran += 1;
         }
         ran
+    }
+
+    /// Processes queries for (at most) `budget` of wall-clock time —
+    /// [`AnytimeStamp::run_until`] with [`Deadline::after`].
+    pub fn run_for_duration(&mut self, budget: Duration) -> usize {
+        self.run_until(Deadline::after(budget))
     }
 
     /// The current partial matrix profile. Entries not yet reached by
@@ -212,11 +330,12 @@ impl AnytimeStamp {
     ///
     /// Remaining queries are split into per-worker chunks; each worker
     /// folds its chunk into a thread-local partial profile with its own
-    /// [`MassScratch`], and the partials merge under [`improves`] —
+    /// [`MassScratch`], and the partials merge under
+    /// [`merge_min_into`] —
     /// commutative and associative, hence bit-identical to the
     /// sequential result for every worker count and chunking (pinned by
     /// the property tests). The worker count follows rayon's current
-    /// configuration, as in [`crate::stomp`].
+    /// configuration, as in [`mod@crate::stomp`].
     pub fn finish_parallel(&mut self) -> MatrixProfile {
         let remaining = &self.order[self.next..];
         let threads = rayon::current_num_threads();
@@ -243,17 +362,12 @@ impl AnytimeStamp {
             })
             .collect();
         for (local_profile, local_index) in partials {
-            for i in 0..count {
-                if improves(
-                    local_profile[i],
-                    local_index[i],
-                    self.profile[i],
-                    self.index[i],
-                ) {
-                    self.profile[i] = local_profile[i];
-                    self.index[i] = local_index[i];
-                }
-            }
+            merge_min_into(
+                &mut self.profile,
+                &mut self.index,
+                &local_profile,
+                &local_index,
+            );
         }
         self.next = self.order.len();
         self.snapshot()
@@ -446,6 +560,74 @@ mod tests {
         let mp = driver.finish_parallel();
         assert!(mp.profile[0].is_infinite());
         assert_eq!(mp.index[0], usize::MAX);
+    }
+
+    /// `run_until` checks the clock *before* each query, so an
+    /// already-expired deadline runs zero queries — the structural half
+    /// of the "never overshoots by more than one query's work"
+    /// guarantee.
+    #[test]
+    fn expired_deadline_runs_nothing() {
+        let series = test_series(150);
+        let mut driver = AnytimeStamp::new(&series, 8);
+        assert_eq!(driver.run_until(Deadline::at(Instant::now())), 0);
+        assert_eq!(driver.processed(), 0);
+        let past = Instant::now() - Duration::from_secs(1);
+        assert_eq!(driver.run_until(Deadline::at(past)), 0);
+        assert_eq!(driver.run_for_duration(Duration::ZERO), 0);
+    }
+
+    /// The wall-clock half: overshoot beyond the deadline is bounded by
+    /// one query's work. The load-bearing asserts are structural (some
+    /// progress was made; the run stopped on the clock, far short of
+    /// completion — thousands of queries short, so no scheduler stall
+    /// can fake it). The elapsed-time bound uses a very generous
+    /// absolute slack: it exists to catch "run_until ignores the clock
+    /// entirely" regressions (which would run ~seconds), not to measure
+    /// scheduling jitter, so CI noise cannot flake it.
+    #[test]
+    fn run_until_overshoot_is_bounded_by_one_query() {
+        let series: Vec<f64> = (0..6000)
+            .map(|i| (i as f64 * 0.11).sin() + 0.3 * (i as f64 * 0.013).cos())
+            .collect();
+        let mut driver = AnytimeStamp::new(&series, 64);
+        // Warm up caches/allocations so the timed region is steady-state.
+        assert_eq!(driver.run_for(32), 32);
+        let budget = Duration::from_millis(10);
+        let start = Instant::now();
+        let ran = driver.run_until(Deadline::after(budget));
+        let elapsed = start.elapsed();
+        assert!(ran > 0, "a 10ms budget must admit at least one query");
+        assert!(
+            !driver.is_done(),
+            "the run must have been stopped by the clock, not completion \
+             ({} of {} queries processed)",
+            driver.processed(),
+            driver.window_count()
+        );
+        let slack = Duration::from_millis(250);
+        assert!(
+            elapsed <= budget + slack,
+            "overshoot: ran {ran} queries in {elapsed:?} against a {budget:?} budget"
+        );
+    }
+
+    #[test]
+    fn deadline_query_budget_matches_run_for() {
+        let series = test_series(160);
+        let mut a = AnytimeStamp::with_seed(&series, 8, 4, 5);
+        let mut b = AnytimeStamp::with_seed(&series, 8, 4, 5);
+        a.run_for(23);
+        b.run_until(Deadline::queries(23));
+        assert_eq!(a.processed(), b.processed());
+        assert_eq!(a.snapshot().profile, b.snapshot().profile);
+        // Unbounded deadline = run to completion.
+        b.run_until(Deadline::unbounded());
+        assert!(b.is_done());
+        // Query cap composes with (not yet expired) wall-clock bounds.
+        let far = Deadline::at(Instant::now() + Duration::from_secs(3600)).with_query_cap(7);
+        let ran = a.run_until(far);
+        assert_eq!(ran, 7);
     }
 
     #[test]

@@ -31,21 +31,65 @@ impl WindowStats {
     pub fn new(series: &[f64], m: usize) -> Self {
         assert!(m > 0, "window must be positive");
         assert!(m <= series.len(), "window longer than series");
-        let count = window_count(series.len(), m);
         let ps = PrefixStats::new(series);
-        let mut mu = Vec::with_capacity(count);
-        let mut sigma = Vec::with_capacity(count);
-        for i in 0..count {
-            let mean = ps.range_mean(i, i + m);
-            let var = ps.range_variance_population(i, i + m);
-            mu.push(mean);
-            sigma.push(if egi_tskit::stats::is_flat(mean, var) {
+        Self::from_prefix(&ps, m)
+    }
+
+    /// Computes stats for all windows of length `m` from already-built
+    /// prefix sums (the append path of the online monitor keeps one
+    /// [`PrefixStats`] alive and rebuilds nothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `m > prefix.len()`.
+    pub fn from_prefix(prefix: &PrefixStats, m: usize) -> Self {
+        assert!(m > 0, "window must be positive");
+        assert!(m <= prefix.len(), "window longer than series");
+        let mut stats = Self {
+            m,
+            mu: Vec::new(),
+            sigma: Vec::new(),
+        };
+        stats.push_windows(prefix);
+        stats
+    }
+
+    /// Appends statistics for the windows the series gained since these
+    /// stats were built. `prefix` must be the (extended) prefix sums of
+    /// the same series.
+    ///
+    /// Existing entries are untouched and new entries run through the
+    /// identical per-window arithmetic, so the result is **bit-identical**
+    /// to [`WindowStats::new`] over the full series — the parity the
+    /// online monitor's finished-profile contract rests on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix` covers fewer windows than already present.
+    pub fn extend_from_prefix(&mut self, prefix: &PrefixStats) {
+        assert!(
+            window_count(prefix.len(), self.m) >= self.count(),
+            "prefix sums shorter than existing stats"
+        );
+        self.push_windows(prefix);
+    }
+
+    /// Pushes stats for windows `self.count()..window_count(prefix)`.
+    fn push_windows(&mut self, prefix: &PrefixStats) {
+        let m = self.m;
+        let count = window_count(prefix.len(), m);
+        self.mu.reserve(count - self.mu.len());
+        self.sigma.reserve(count - self.sigma.len());
+        for i in self.mu.len()..count {
+            let mean = prefix.range_mean(i, i + m);
+            let var = prefix.range_variance_population(i, i + m);
+            self.mu.push(mean);
+            self.sigma.push(if egi_tskit::stats::is_flat(mean, var) {
                 0.0
             } else {
                 var.sqrt()
             });
         }
-        Self { m, mu, sigma }
     }
 
     /// Number of windows.
@@ -174,5 +218,24 @@ mod tests {
     #[should_panic(expected = "window longer")]
     fn oversized_window_panics() {
         WindowStats::new(&[1.0, 2.0], 3);
+    }
+
+    #[test]
+    fn extend_from_prefix_is_bit_identical_to_batch() {
+        let full: Vec<f64> = (0..150)
+            .map(|i| (i as f64 * 0.31).sin() * 4.0 + ((i * 7) % 13) as f64 * 0.05)
+            .collect();
+        let m = 9;
+        for split in [m, m + 1, 75, 149] {
+            let mut prefix = PrefixStats::new(&full[..split]);
+            let mut inc = WindowStats::from_prefix(&prefix, m);
+            for chunk in full[split..].chunks(11) {
+                prefix.extend(chunk);
+                inc.extend_from_prefix(&prefix);
+            }
+            let batch = WindowStats::new(&full, m);
+            assert_eq!(inc.mu, batch.mu, "split {split}");
+            assert_eq!(inc.sigma, batch.sigma, "split {split}");
+        }
     }
 }

@@ -24,14 +24,43 @@
 //!   the shared spectrum.
 //! * [`anytime`] — [`AnytimeStamp`]: STAMP's anytime property as a
 //!   first-class API — seeded random query order, deadline-style
-//!   stepping with monotonically converging snapshots, and a
-//!   rayon-parallel batch mode; finished profiles are bit-identical to
-//!   sequential [`stamp()`](stamp::stamp) for every seed, permutation,
-//!   and worker count.
+//!   stepping (query budgets, wall-clock [`anytime::Deadline`]s) with
+//!   monotonically converging snapshots, and a rayon-parallel batch
+//!   mode; finished profiles are bit-identical to sequential
+//!   [`stamp()`](stamp::stamp) for every seed, permutation, and worker
+//!   count.
+//! * [`streaming`] — [`StreamingDiscordMonitor`]: online
+//!   (append-to-series) discord monitoring — ingest points, refresh the
+//!   profile under a hard latency budget, answer "best discords so
+//!   far"; finished profiles are bit-identical to batch STAMP for every
+//!   append schedule.
 //! * [`hotsax`] — the original HOTSAX discord search \[9\] with SAX-bucket
 //!   outer-loop ordering and early abandoning.
 //! * [`detector`] — [`DiscordDetector`]: the "Discord" baseline of the
 //!   evaluation (top-k non-overlapping discords via STOMP).
+//!
+//! # The `(distance, index)` tie-break contract
+//!
+//! Every profile fold in this crate — STOMP's diagonal merge, STAMP's
+//! per-query fold, the anytime/parallel partial-profile merges, the
+//! streaming monitor's carry-over — goes through one rule,
+//! [`profile::improves`]: candidate `(d, idx)` wins iff it is strictly
+//! smaller under the total order *distance first, neighbor index
+//! second*. Min-folding under a total order is commutative and
+//! associative, so **any** processing order (row sweeps, diagonal
+//! chunks, random permutations, per-worker partials, append schedules)
+//! produces bit-identical profile *and index* vectors, including on
+//! exact distance ties.
+//!
+//! # The anytime-convergence guarantee
+//!
+//! Partial profiles from [`AnytimeStamp`] and
+//! [`StreamingDiscordMonitor`] tighten pointwise-monotonically as
+//! queries are processed and are always an upper bound on the batch
+//! profile; run to completion, they land bit-exactly on
+//! [`stamp()`](stamp::stamp)'s output. See [`anytime`] and
+//! [`streaming`] for the fine print (and the one FFT-round-off caveat
+//! at a streaming catch-up transition).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -46,8 +75,9 @@ pub mod mass;
 pub mod profile;
 pub mod stamp;
 pub mod stomp;
+pub mod streaming;
 
-pub use anytime::{stamp_parallel, AnytimeStamp};
+pub use anytime::{stamp_parallel, AnytimeStamp, Deadline};
 pub use detector::{DiscordConfig, DiscordDetector};
 pub use fft::{FftPlan, RealFftPlan};
 pub use hotsax::{hotsax_discord, hotsax_discords};
@@ -55,3 +85,4 @@ pub use mass::{MassPrecomputed, MassScratch};
 pub use profile::{Discord, MatrixProfile};
 pub use stamp::stamp;
 pub use stomp::stomp;
+pub use streaming::StreamingDiscordMonitor;

@@ -17,6 +17,8 @@
 
 use std::sync::Arc;
 
+use egi_tskit::stats::PrefixStats;
+
 use crate::dist::WindowStats;
 use crate::fft::{
     c_conj, c_mul, cached_real_plan, next_pow2, sliding_dot_products, Complex, RealFftPlan,
@@ -93,6 +95,26 @@ pub struct MassScratch {
 /// padded query, a pointwise conjugate multiply against the cached
 /// spectrum, and one half-size inverse transform — the cross-correlation
 /// theorem — followed by the `O(1)`-per-window distance identity.
+///
+/// # Appending points
+///
+/// [`MassPrecomputed::append`] grows the series in place and refreshes
+/// the cached spectrum, leaving the value **bit-identical** to a fresh
+/// [`MassPrecomputed::new`] over the concatenated series (see the method
+/// docs for the amortization story). This is the substrate of
+/// [`crate::streaming::StreamingDiscordMonitor`].
+///
+/// # Examples
+///
+/// ```
+/// use egi_discord::mass::MassPrecomputed;
+///
+/// let series: Vec<f64> = (0..64).map(|i| (i as f64 * 0.4).sin()).collect();
+/// let mass = MassPrecomputed::new(&series, 8);
+/// let profile = mass.distance_profile(10);
+/// assert_eq!(profile.len(), mass.window_count());
+/// assert!(profile[10].abs() < 1e-6); // self-distance is ~0
+/// ```
 #[derive(Debug, Clone)]
 pub struct MassPrecomputed {
     series: Vec<f64>,
@@ -101,6 +123,13 @@ pub struct MassPrecomputed {
     plan: Arc<RealFftPlan>,
     series_spec: Vec<Complex>,
     stats: WindowStats,
+    /// Append-path state, built lazily on the first
+    /// [`MassPrecomputed::append`] so batch-only users (STAMP, STOMP's
+    /// seed row, the detectors) pay no extra memory:
+    /// `(prefix_sums, padded_series, fft_scratch)` — the prefix sums
+    /// continue the window statistics, the padded buffer lets an append
+    /// write only its tail before re-transforming.
+    append_state: Option<(PrefixStats, Vec<f64>, Vec<Complex>)>,
 }
 
 impl MassPrecomputed {
@@ -126,7 +155,81 @@ impl MassPrecomputed {
             plan,
             series_spec,
             stats,
+            append_state: None,
         }
+    }
+
+    /// Appends points to the series and refreshes the cached spectrum
+    /// and window statistics in place.
+    ///
+    /// The result is **bit-identical** to `MassPrecomputed::new` over the
+    /// concatenated series (pinned by unit and property tests): the
+    /// prefix-sum statistics continue their running totals, the padded
+    /// buffer gains exactly the appended tail, and the forward transform
+    /// reruns on the same process-wide cached plan. Cost per append:
+    ///
+    /// * **no power-of-two growth** — only the appended tail is copied
+    ///   (`O(points)`) before the `O(S log S)` re-transform at the
+    ///   current padded size `S`;
+    /// * **power-of-two growth** — the padded buffer is re-laid-out at
+    ///   the doubled size and the plan swaps to the (globally cached)
+    ///   next-size plan; since the size doubles, this slow path runs
+    ///   `O(log N)` times over any append schedule, so its copy cost
+    ///   amortizes to `O(1)` per appended point.
+    ///
+    /// The spectrum re-transform dominates, so callers should batch
+    /// appends into chunks; each appended chunk of `c` points costs
+    /// `O(S log S)` total, i.e. `O((S log S)/c)` per point.
+    ///
+    /// The append-path buffers (prefix sums, retained padded series,
+    /// FFT scratch) are built lazily on the first call — an instance
+    /// that never appends carries none of them.
+    ///
+    /// Existing window statistics and already-computed distance profiles
+    /// over old windows keep their meaning — appending adds
+    /// `points.len()` new windows and never mutates old series values.
+    pub fn append(&mut self, points: &[f64]) {
+        if points.is_empty() {
+            return;
+        }
+        let old_len = self.series.len();
+        self.series.extend_from_slice(points);
+        let (prefix, padded, fft_scratch) = match &mut self.append_state {
+            Some((prefix, padded, fft_scratch)) => {
+                prefix.extend(points);
+                (prefix, padded, fft_scratch)
+            }
+            None => {
+                // First append: materialize the incremental state from
+                // the (already extended) series. PrefixStats::new runs
+                // the same left-to-right accumulation an incremental
+                // build would, so everything downstream stays bitwise
+                // on the batch path.
+                let (prefix, padded, fft_scratch) = self.append_state.insert((
+                    PrefixStats::new(&self.series),
+                    Vec::new(),
+                    Vec::new(),
+                ));
+                (prefix, padded, fft_scratch)
+            }
+        };
+        self.stats.extend_from_prefix(prefix);
+        let size = next_pow2(self.series.len()).max(2);
+        if size != self.size || padded.is_empty() {
+            // First append or power-of-two growth: re-plan (a cache hit
+            // after the first time any caller reaches this size) and
+            // lay the padded buffer out at the current size.
+            self.size = size;
+            self.plan = cached_real_plan(size);
+            padded.clear();
+            padded.resize(size, 0.0);
+            padded[..self.series.len()].copy_from_slice(&self.series);
+        } else {
+            // Same padded size: only the appended tail needs writing.
+            padded[old_len..self.series.len()].copy_from_slice(points);
+        }
+        self.plan
+            .forward_into(padded, &mut self.series_spec, fft_scratch);
     }
 
     /// Window length `m`.
@@ -326,5 +429,61 @@ mod tests {
         let series = vec![0.0, 1.0, 2.0, 3.0];
         let pre = MassPrecomputed::new(&series, 2);
         pre.distance_profile(3);
+    }
+
+    /// The append path must leave the struct bit-identical to a fresh
+    /// construction over the full series: same spectrum, same stats,
+    /// same distance profiles — the foundation of the streaming
+    /// monitor's finished-profile parity.
+    #[test]
+    fn append_is_bit_identical_to_fresh_build() {
+        let full: Vec<f64> = (0..300)
+            .map(|i| (i as f64 * 0.19).sin() * 2.0 + ((i * 13) % 7) as f64 * 0.1)
+            .collect();
+        let m = 12;
+        // Splits exercise both the same-size path and pow2 growth
+        // (next_pow2(140)=256 < next_pow2(300)=512).
+        for split in [m, 140, 255, 256, 299] {
+            let mut inc = MassPrecomputed::new(&full[..split], m);
+            for chunk in full[split..].chunks(37) {
+                inc.append(chunk);
+            }
+            let fresh = MassPrecomputed::new(&full, m);
+            assert_eq!(inc.series_spec, fresh.series_spec, "split {split}");
+            assert_eq!(inc.stats.mu, fresh.stats.mu, "split {split}");
+            assert_eq!(inc.stats.sigma, fresh.stats.sigma, "split {split}");
+            assert_eq!(inc.size, fresh.size, "split {split}");
+            assert_eq!(inc.window_count(), fresh.window_count());
+            let mut scratch = MassScratch::default();
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            for q in [0, split - m, inc.window_count() - 1] {
+                inc.distance_profile_into(q, &mut scratch, &mut a);
+                fresh.distance_profile_into(q, &mut scratch, &mut b);
+                assert_eq!(a, b, "split {split} q {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn append_empty_is_a_no_op() {
+        let series: Vec<f64> = (0..40).map(|i| (i as f64 * 0.3).cos()).collect();
+        let mut inc = MassPrecomputed::new(&series, 5);
+        let spec_before = inc.series_spec.clone();
+        inc.append(&[]);
+        assert_eq!(inc.series_spec, spec_before);
+        assert_eq!(inc.window_count(), 36);
+    }
+
+    #[test]
+    fn append_single_points_grow_window_count() {
+        let mut inc = MassPrecomputed::new(&[1.0, 2.0, 0.5], 3);
+        assert_eq!(inc.window_count(), 1);
+        inc.append(&[4.0]);
+        inc.append(&[-1.0]);
+        assert_eq!(inc.window_count(), 3);
+        let fresh = MassPrecomputed::new(&[1.0, 2.0, 0.5, 4.0, -1.0], 3);
+        for q in 0..3 {
+            assert_eq!(inc.distance_profile(q), fresh.distance_profile(q));
+        }
     }
 }

@@ -22,6 +22,40 @@ pub fn improves(d: f64, idx: usize, best_d: f64, best_idx: usize) -> bool {
     d < best_d || (d == best_d && idx < best_idx)
 }
 
+/// Pointwise min-merge of one partial profile into another under
+/// [`improves`].
+///
+/// `src` may be shorter than `dst` (a partial computed before the series
+/// grew); entries past its end are left untouched. Because the underlying
+/// fold is commutative and associative, merging partials in any order
+/// yields the same result — this is the primitive behind parallel
+/// STAMP's per-worker merge and the streaming monitor's carry-over of
+/// pre-append evidence.
+///
+/// # Panics
+///
+/// Panics if `dst_profile` and `dst_index` lengths differ, or if `src`
+/// is longer than `dst`.
+pub fn merge_min_into(
+    dst_profile: &mut [f64],
+    dst_index: &mut [usize],
+    src_profile: &[f64],
+    src_index: &[usize],
+) {
+    assert_eq!(dst_profile.len(), dst_index.len(), "dst length mismatch");
+    assert_eq!(src_profile.len(), src_index.len(), "src length mismatch");
+    assert!(
+        src_profile.len() <= dst_profile.len(),
+        "src longer than dst"
+    );
+    for i in 0..src_profile.len() {
+        if improves(src_profile[i], src_index[i], dst_profile[i], dst_index[i]) {
+            dst_profile[i] = src_profile[i];
+            dst_index[i] = src_index[i];
+        }
+    }
+}
+
 /// A discord: a subsequence whose nearest non-self neighbor is far away.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Discord {
@@ -162,5 +196,27 @@ mod tests {
         let p = mp(vec![], 4);
         assert!(p.is_empty());
         assert!(p.discords(2).is_empty());
+    }
+
+    #[test]
+    fn merge_min_into_takes_pointwise_best() {
+        let mut dp = vec![1.0, 5.0, f64::INFINITY];
+        let mut di = vec![3, 7, usize::MAX];
+        merge_min_into(&mut dp, &mut di, &[2.0, 5.0], &[9, 2]);
+        // Entry 0: 1.0 beats 2.0 — kept. Entry 1: tie, smaller index
+        // wins. Entry 2: src shorter — untouched.
+        assert_eq!(dp, vec![1.0, 5.0, f64::INFINITY]);
+        assert_eq!(di, vec![3, 2, usize::MAX]);
+        merge_min_into(&mut dp, &mut di, &[0.5, 9.0, 4.0], &[1, 1, 8]);
+        assert_eq!(dp, vec![0.5, 5.0, 4.0]);
+        assert_eq!(di, vec![1, 2, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "src longer than dst")]
+    fn merge_min_into_rejects_longer_src() {
+        let mut dp = vec![1.0];
+        let mut di = vec![0];
+        merge_min_into(&mut dp, &mut di, &[1.0, 2.0], &[0, 1]);
     }
 }

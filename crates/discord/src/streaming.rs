@@ -1,0 +1,672 @@
+//! Online (append-to-series) discord monitoring.
+//!
+//! [`StreamingDiscordMonitor`] owns a growing time series and keeps its
+//! matrix profile — and therefore its discord set — current as points
+//! are appended, under hard wall-clock latency budgets between appends.
+//! It is the online driver the ROADMAP's production north-star asks for:
+//! ingest a chunk of live traffic, spend a bounded slice of time
+//! tightening the profile, answer "best discords so far", repeat.
+//!
+//! # Architecture
+//!
+//! Three layers cooperate:
+//!
+//! * [`MassPrecomputed::append`] grows the series in place: prefix-sum
+//!   window statistics continue their running totals, the padded FFT
+//!   buffer gains only the new tail (re-laid-out on power-of-two
+//!   growth, when the plan swaps to the next cached size), and the
+//!   series spectrum is re-transformed on the process-wide cached plan.
+//!   After any append schedule the struct is **bit-identical** to a
+//!   fresh build over the full series.
+//! * The monitor maintains an **exact fold**: the partial matrix
+//!   profile folded from distance profiles computed against the
+//!   *current* spectrum, under the shared `(distance, index)` rule of
+//!   [`crate::profile::improves`]. Once every window has been processed
+//!   as a query in the current epoch, the fold is bit-identical to a
+//!   from-scratch [`stamp()`](crate::stamp::stamp) on the full series.
+//! * A **carry-over** layer keeps the evidence accumulated before the
+//!   latest append. Those folds were computed against a shorter
+//!   series' spectrum; they are numerically within FFT round-off
+//!   (~1e-9) of the current-spectrum values but not bitwise equal, so
+//!   they serve [`StreamingDiscordMonitor::snapshot`] (live monitoring
+//!   wants the tightest available bound *now*) and never contaminate
+//!   the exact fold.
+//!
+//! # Why appends re-enqueue old queries
+//!
+//! An FFT's rounding depends on its transform length, so the same
+//! mathematical distance computed against the grown series' spectrum
+//! differs in the last bits from the value computed before the append.
+//! A finished profile that mixed pre- and post-append folds would
+//! therefore disagree with batch STAMP at the ulp level — and the
+//! crate's contract (PR 1/2 standard) is *bit*-identity. The monitor
+//! resolves the tension by priority, not by discarding work:
+//!
+//! 1. **fresh queries** (the windows the append created) run first —
+//!    they are the only ones that carry genuinely new information, so
+//!    snapshot quality after an append needs exactly `chunk` queries;
+//! 2. never-processed older queries run next;
+//! 3. queries already processed in an earlier epoch re-run last — pure
+//!    numerical refresh, deferred until the stream goes quiet.
+//!
+//! Between appends the carry-over keeps every pair ever examined in the
+//! live view, so *new points only add candidate queries* as far as
+//! monitoring is concerned; the re-runs exist solely to restore
+//! bit-exactness once the monitor catches up.
+//!
+//! # Convergence contract
+//!
+//! * Within an epoch (between appends), snapshots tighten
+//!   monotonically, exactly as [`crate::anytime`].
+//! * Across an append, the snapshot is unchanged (new entries start at
+//!   `+∞`) and then resumes tightening.
+//! * When the monitor catches up ([`StreamingDiscordMonitor::is_current`]),
+//!   the stale carry is dropped and the snapshot equals the exact fold;
+//!   entries may move by FFT round-off (≤ ~1e-9) at that transition,
+//!   which is the only departure from bitwise monotonicity.
+//! * [`StreamingDiscordMonitor::finish`] (and `finish_parallel`, for
+//!   every rayon worker count) returns a profile bit-identical to
+//!   [`stamp_with_exclusion`](crate::stamp::stamp_with_exclusion) on
+//!   the full series — property-tested across append schedules, seeds,
+//!   chunk sizes, and thread counts.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use rayon::prelude::*;
+
+use crate::anytime::{pseudo_random_order, Deadline};
+use crate::mass::{MassPrecomputed, MassScratch};
+use crate::profile::{merge_min_into, Discord, MatrixProfile};
+use crate::stamp::update_from_profile;
+use crate::stomp::default_exclusion;
+
+/// Seed used by [`StreamingDiscordMonitor::new`] when the caller does
+/// not pick one.
+pub const DEFAULT_MONITOR_SEED: u64 = 0x5EED_CAFE;
+
+/// An online discord monitor over an append-only time series.
+///
+/// See the [module docs](self) for the architecture, the exact-fold /
+/// carry-over split, and the convergence contract.
+///
+/// # Examples
+///
+/// ```
+/// use egi_discord::streaming::StreamingDiscordMonitor;
+///
+/// // A clean sine with one corrupted beat in the second half.
+/// let mut series: Vec<f64> = (0..256).map(|i| (i as f64 * 0.4).sin()).collect();
+/// for (k, v) in series[180..190].iter_mut().enumerate() {
+///     *v += (k as f64 * 1.7).cos() * 2.0;
+/// }
+///
+/// let m = 16;
+/// let mut monitor = StreamingDiscordMonitor::new(m);
+/// monitor.append(&series[..128]);          // warm-up batch
+/// monitor.run_for(usize::MAX);             // catch up completely
+/// for chunk in series[128..].chunks(32) {
+///     monitor.append(chunk);               // live traffic arrives…
+///     monitor.run_for(chunk.len());        // …refresh the new windows
+/// }
+/// let top = monitor.discords(1);           // best discord so far
+/// assert!((170..=190).contains(&top[0].start), "found {}", top[0].start);
+///
+/// // Once caught up, the profile is bit-identical to batch STAMP.
+/// let finished = monitor.finish();
+/// let batch = egi_discord::stamp(&series, m);
+/// assert_eq!(finished.profile, batch.profile);
+/// assert_eq!(finished.index, batch.index);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingDiscordMonitor {
+    m: usize,
+    exclusion: usize,
+    seed: u64,
+    /// Appends seen so far; salts the per-epoch query order.
+    epoch: u64,
+    /// Points buffered before the series reaches `m` (no windows yet).
+    warmup: Vec<f64>,
+    mass: Option<MassPrecomputed>,
+    /// Queries to process in the current epoch: fresh windows first,
+    /// then never-processed older windows, then numerical re-runs.
+    pending: VecDeque<usize>,
+    /// Queries already folded in the current epoch, in processing order.
+    done: Vec<usize>,
+    /// The exact fold: evidence computed against the current spectrum.
+    fold_profile: Vec<f64>,
+    fold_index: Vec<usize>,
+    /// Pre-append evidence (within FFT round-off of exact); dropped the
+    /// moment the exact fold reaches full coverage.
+    carry: Option<(Vec<f64>, Vec<usize>)>,
+    scratch: MassScratch,
+    dp: Vec<f64>,
+}
+
+impl StreamingDiscordMonitor {
+    /// Builds an empty monitor for window length `m` with the default
+    /// `m/2` exclusion zone and [`DEFAULT_MONITOR_SEED`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn new(m: usize) -> Self {
+        Self::with_seed(m, default_exclusion(m), DEFAULT_MONITOR_SEED)
+    }
+
+    /// Builds an empty monitor with an explicit exclusion half-width.
+    pub fn with_exclusion(m: usize, exclusion: usize) -> Self {
+        Self::with_seed(m, exclusion, DEFAULT_MONITOR_SEED)
+    }
+
+    /// Builds an empty monitor with an explicit exclusion half-width
+    /// and query-order seed. The seed affects only the order pending
+    /// queries are processed in, never any finished profile.
+    pub fn with_seed(m: usize, exclusion: usize, seed: u64) -> Self {
+        assert!(m > 0, "window must be positive");
+        Self {
+            m,
+            exclusion,
+            seed,
+            epoch: 0,
+            warmup: Vec::new(),
+            mass: None,
+            pending: VecDeque::new(),
+            done: Vec::new(),
+            fold_profile: Vec::new(),
+            fold_index: Vec::new(),
+            carry: None,
+            scratch: MassScratch::default(),
+            dp: Vec::new(),
+        }
+    }
+
+    /// Window length `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Exclusion half-width.
+    pub fn exclusion(&self) -> usize {
+        self.exclusion
+    }
+
+    /// Points ingested so far.
+    pub fn series_len(&self) -> usize {
+        match &self.mass {
+            Some(mass) => mass.series().len(),
+            None => self.warmup.len(),
+        }
+    }
+
+    /// The full series ingested so far.
+    pub fn series(&self) -> &[f64] {
+        match &self.mass {
+            Some(mass) => mass.series(),
+            None => &self.warmup,
+        }
+    }
+
+    /// Number of sliding windows (profile length); zero until `m`
+    /// points have arrived.
+    pub fn window_count(&self) -> usize {
+        self.mass.as_ref().map_or(0, MassPrecomputed::window_count)
+    }
+
+    /// Queries awaiting processing in the current epoch (fresh windows
+    /// plus numerical re-runs scheduled by appends).
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Queries folded since the last append.
+    pub fn processed(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Appends seen so far.
+    pub fn epochs(&self) -> u64 {
+        self.epoch
+    }
+
+    /// `true` once the exact fold covers every window of the current
+    /// series — from here, [`StreamingDiscordMonitor::snapshot`] is
+    /// bit-identical to batch STAMP on the ingested series.
+    pub fn is_current(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Deterministic processing order for `fresh` new queries of the
+    /// current epoch.
+    fn epoch_order(&self, offset: usize, fresh: usize) -> Vec<usize> {
+        let salt = self
+            .seed
+            .wrapping_add(self.epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        pseudo_random_order(fresh, salt)
+            .into_iter()
+            .map(|i| i + offset)
+            .collect()
+    }
+
+    /// Ingests new points. Never blocks on profile work: the append
+    /// cost is the spectrum refresh of [`MassPrecomputed::append`]
+    /// (plus `O(1)` bookkeeping per already-processed query), and all
+    /// query processing is deferred to [`step`](Self::step) /
+    /// [`run_until`](Self::run_until) so the caller controls the
+    /// latency budget.
+    ///
+    /// New windows are enqueued ahead of everything else; queries
+    /// processed in earlier epochs are re-enqueued last (see the
+    /// [module docs](self) for why bit-exactness requires that).
+    pub fn append(&mut self, points: &[f64]) {
+        if points.is_empty() {
+            return;
+        }
+        self.epoch += 1;
+        match &mut self.mass {
+            None => {
+                self.warmup.extend_from_slice(points);
+                if self.warmup.len() < self.m {
+                    return;
+                }
+                let mass = MassPrecomputed::new(&self.warmup, self.m);
+                let count = mass.window_count();
+                self.fold_profile = vec![f64::INFINITY; count];
+                self.fold_index = vec![usize::MAX; count];
+                self.pending = self.epoch_order(0, count).into();
+                self.mass = Some(mass);
+                self.warmup = Vec::new();
+            }
+            Some(mass) => {
+                let old_count = mass.window_count();
+                mass.append(points);
+                let new_count = mass.window_count();
+                // Preserve pre-append evidence for live snapshots…
+                let (cp, ci) = self.carry.get_or_insert_with(|| {
+                    (vec![f64::INFINITY; old_count], vec![usize::MAX; old_count])
+                });
+                cp.resize(new_count, f64::INFINITY);
+                ci.resize(new_count, usize::MAX);
+                merge_min_into(cp, ci, &self.fold_profile, &self.fold_index);
+                // …and restart the exact fold against the new spectrum.
+                self.fold_profile.clear();
+                self.fold_profile.resize(new_count, f64::INFINITY);
+                self.fold_index.clear();
+                self.fold_index.resize(new_count, usize::MAX);
+                let mut pending =
+                    VecDeque::from(self.epoch_order(old_count, new_count - old_count));
+                pending.append(&mut self.pending);
+                pending.extend(self.done.drain(..));
+                self.pending = pending;
+            }
+        }
+    }
+
+    /// Processes the next pending query into the exact fold. Returns
+    /// `false` when the monitor is already current (or has no windows).
+    pub fn step(&mut self) -> bool {
+        let Some(mass) = &self.mass else {
+            return false;
+        };
+        let Some(q) = self.pending.pop_front() else {
+            return false;
+        };
+        mass.distance_profile_into(q, &mut self.scratch, &mut self.dp);
+        update_from_profile(
+            q,
+            &self.dp,
+            self.exclusion,
+            &mut self.fold_profile,
+            &mut self.fold_index,
+        );
+        self.done.push(q);
+        if self.pending.is_empty() {
+            // Full coverage on the current spectrum: the stale carry can
+            // only differ in the last bits, so drop it and let snapshots
+            // return the exact (batch-bit-identical) profile.
+            self.carry = None;
+        }
+        true
+    }
+
+    /// Processes up to `n` pending queries; returns how many ran.
+    pub fn run_for(&mut self, n: usize) -> usize {
+        self.run_until(Deadline::queries(n))
+    }
+
+    /// Processes pending queries until `deadline` expires or the
+    /// monitor is current; returns how many ran. As in
+    /// [`crate::anytime::AnytimeStamp::run_until`], the deadline is
+    /// checked before each query, so it is never overshot by more than
+    /// one query's work.
+    pub fn run_until(&mut self, deadline: Deadline) -> usize {
+        let mut ran = 0;
+        while !deadline.expired(ran) && self.step() {
+            ran += 1;
+        }
+        ran
+    }
+
+    /// Processes pending queries for (at most) `budget` of wall-clock
+    /// time — the "hard latency budget between appends" entry point.
+    pub fn run_for_duration(&mut self, budget: Duration) -> usize {
+        self.run_until(Deadline::after(budget))
+    }
+
+    /// The current best-known matrix profile: the exact fold min-merged
+    /// with the pre-append carry-over. Entries no processed query has
+    /// reached are `+∞` / `usize::MAX`; every entry is an upper bound
+    /// on the batch profile of the ingested series, up to FFT round-off
+    /// (carry-over evidence was computed against a shorter series'
+    /// spectrum and may sit ~1e-9 below the batch value — see the
+    /// [module docs](self); once
+    /// [`is_current`](StreamingDiscordMonitor::is_current) the bound is
+    /// exact and bitwise).
+    pub fn snapshot(&self) -> MatrixProfile {
+        let mut profile = self.fold_profile.clone();
+        let mut index = self.fold_index.clone();
+        if let Some((cp, ci)) = &self.carry {
+            merge_min_into(&mut profile, &mut index, cp, ci);
+        }
+        MatrixProfile {
+            m: self.m,
+            exclusion: self.exclusion,
+            profile,
+            index,
+        }
+    }
+
+    /// Top-`k` non-overlapping discords of the current snapshot — the
+    /// "best discords so far" answer.
+    pub fn discords(&self, k: usize) -> Vec<Discord> {
+        self.snapshot().discords(k)
+    }
+
+    /// Processes every pending query and returns the finished profile —
+    /// bit-identical to
+    /// [`stamp_with_exclusion`](crate::stamp::stamp_with_exclusion) on
+    /// the full ingested series.
+    pub fn finish(&mut self) -> MatrixProfile {
+        while self.step() {}
+        self.snapshot()
+    }
+
+    /// Like [`StreamingDiscordMonitor::finish`], but fans the pending
+    /// queries out across rayon workers (per-worker partial folds
+    /// merged under the shared rule, as in
+    /// [`crate::anytime::AnytimeStamp::finish_parallel`]) —
+    /// bit-identical to the sequential result for every worker count.
+    pub fn finish_parallel(&mut self) -> MatrixProfile {
+        let threads = rayon::current_num_threads();
+        if self.mass.is_none() || threads <= 1 || self.pending.len() <= 1 {
+            return self.finish();
+        }
+        let remaining: Vec<usize> = self.pending.drain(..).collect();
+        let mass = self.mass.as_ref().expect("checked above");
+        let count = mass.window_count();
+        let exclusion = self.exclusion;
+        let chunk_len = remaining.len().div_ceil(threads);
+        let partials: Vec<(Vec<f64>, Vec<usize>)> = remaining
+            .chunks(chunk_len)
+            .map(<[usize]>::to_vec)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|chunk| {
+                let mut scratch = MassScratch::default();
+                let mut dp = Vec::new();
+                let mut profile = vec![f64::INFINITY; count];
+                let mut index = vec![usize::MAX; count];
+                for q in chunk {
+                    mass.distance_profile_into(q, &mut scratch, &mut dp);
+                    update_from_profile(q, &dp, exclusion, &mut profile, &mut index);
+                }
+                (profile, index)
+            })
+            .collect();
+        for (profile, index) in partials {
+            merge_min_into(
+                &mut self.fold_profile,
+                &mut self.fold_index,
+                &profile,
+                &index,
+            );
+        }
+        self.done.extend(remaining);
+        self.carry = None;
+        self.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stamp::stamp_with_exclusion;
+
+    fn test_series(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                (t * 0.13).sin() * 1.2 + 0.5 * (t * 0.041).cos() + ((i * 29) % 13) as f64 * 0.06
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finished_profile_matches_batch_stamp_bitwise() {
+        let series = test_series(240);
+        let m = 8;
+        let exc = m / 2;
+        let reference = stamp_with_exclusion(&series, m, exc);
+        for chunk in [1usize, 7, 64, 240] {
+            let mut monitor = StreamingDiscordMonitor::with_exclusion(m, exc);
+            for part in series.chunks(chunk) {
+                monitor.append(part);
+            }
+            let finished = monitor.finish();
+            assert_eq!(finished.profile, reference.profile, "chunk {chunk}");
+            assert_eq!(finished.index, reference.index, "chunk {chunk}");
+            assert!(monitor.is_current());
+        }
+    }
+
+    #[test]
+    fn interleaved_stepping_still_matches_batch() {
+        let series = test_series(200);
+        let m = 10;
+        let exc = m / 2;
+        let reference = stamp_with_exclusion(&series, m, exc);
+        for seed in [0u64, 9, 0xFEED] {
+            let mut monitor = StreamingDiscordMonitor::with_seed(m, exc, seed);
+            for part in series.chunks(23) {
+                monitor.append(part);
+                monitor.run_for(11); // leave a backlog on purpose
+                let _ = monitor.snapshot();
+            }
+            let finished = monitor.finish();
+            assert_eq!(finished.profile, reference.profile, "seed {seed}");
+            assert_eq!(finished.index, reference.index, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parallel_finish_deterministic_across_thread_counts() {
+        let series = test_series(220);
+        let m = 9;
+        let exc = m / 2;
+        let reference = stamp_with_exclusion(&series, m, exc);
+        for threads in [1usize, 2, 3, 8] {
+            let mut monitor = StreamingDiscordMonitor::with_exclusion(m, exc);
+            for part in series.chunks(31) {
+                monitor.append(part);
+                monitor.run_for(5);
+            }
+            let finished = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| monitor.finish_parallel());
+            assert_eq!(finished.profile, reference.profile, "{threads} threads");
+            assert_eq!(finished.index, reference.index, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn warmup_buffers_until_m_points() {
+        let mut monitor = StreamingDiscordMonitor::new(8);
+        monitor.append(&[1.0, 2.0, 3.0]);
+        assert_eq!(monitor.window_count(), 0);
+        assert!(monitor.snapshot().is_empty());
+        assert!(!monitor.step());
+        assert!(monitor.discords(3).is_empty());
+        monitor.append(&test_series(13));
+        assert_eq!(monitor.series_len(), 16);
+        assert_eq!(monitor.window_count(), 9);
+        assert_eq!(monitor.pending(), 9);
+    }
+
+    #[test]
+    fn snapshot_is_stable_across_an_append() {
+        let series = test_series(180);
+        let m = 8;
+        let mut monitor = StreamingDiscordMonitor::new(m);
+        monitor.append(&series[..120]);
+        monitor.run_for(40);
+        let before = monitor.snapshot();
+        monitor.append(&series[120..]);
+        let after = monitor.snapshot();
+        // Old entries unchanged; new entries start untouched.
+        assert_eq!(&after.profile[..before.len()], &before.profile[..]);
+        assert_eq!(&after.index[..before.len()], &before.index[..]);
+        assert!(after.profile[before.len()..]
+            .iter()
+            .all(|d| d.is_infinite()));
+    }
+
+    #[test]
+    fn snapshots_tighten_within_an_epoch() {
+        let series = test_series(160);
+        let mut monitor = StreamingDiscordMonitor::new(8);
+        monitor.append(&series[..100]);
+        monitor.run_for(usize::MAX);
+        monitor.append(&series[100..]);
+        let mut previous = monitor.snapshot();
+        let mut was_current = monitor.is_current();
+        while monitor.run_for(13) > 0 {
+            let current = monitor.snapshot();
+            for i in 0..previous.len() {
+                // Bitwise monotone while the carry is live; the
+                // catch-up transition (stale carry dropped in favor of
+                // the exact fold) may move entries by FFT round-off —
+                // the one documented departure.
+                let slack = if monitor.is_current() && !was_current {
+                    1e-9 * (1.0 + previous.profile[i].abs())
+                } else {
+                    0.0
+                };
+                assert!(
+                    current.profile[i] <= previous.profile[i] + slack,
+                    "entry {i} rose: {} -> {}",
+                    previous.profile[i],
+                    current.profile[i]
+                );
+            }
+            was_current = monitor.is_current();
+            previous = current;
+        }
+        assert!(monitor.is_current());
+    }
+
+    #[test]
+    fn fresh_queries_run_before_the_backlog() {
+        let series = test_series(150);
+        let m = 8;
+        let mut monitor = StreamingDiscordMonitor::new(m);
+        monitor.append(&series[..100]);
+        monitor.run_for(usize::MAX);
+        assert!(monitor.is_current());
+        let old_count = monitor.window_count();
+        monitor.append(&series[100..]);
+        let fresh = monitor.window_count() - old_count;
+        // Processing exactly the fresh queries covers every new window.
+        assert_eq!(monitor.run_for(fresh), fresh);
+        let snap = monitor.snapshot();
+        assert!(
+            snap.profile[old_count..].iter().all(|d| d.is_finite()),
+            "new windows must be covered after `fresh` steps"
+        );
+        // The backlog (numerical re-runs) is still pending.
+        assert_eq!(monitor.pending(), old_count);
+        assert!(!monitor.is_current());
+    }
+
+    #[test]
+    fn monitor_finds_an_injected_discord_mid_stream() {
+        let mut series: Vec<f64> = (0..400).map(|i| (i as f64 * 0.35).sin()).collect();
+        for (k, v) in series[300..315].iter_mut().enumerate() {
+            *v = 2.5 + (k as f64 * 2.1).sin() * 1.5;
+        }
+        let m = 20;
+        let mut monitor = StreamingDiscordMonitor::new(m);
+        monitor.append(&series[..250]);
+        monitor.run_for(usize::MAX);
+        for chunk in series[250..].chunks(50) {
+            monitor.append(chunk);
+            monitor.run_for(chunk.len());
+        }
+        let top = monitor.discords(1);
+        assert_eq!(top.len(), 1);
+        assert!(
+            (285..=315).contains(&top.first().unwrap().start),
+            "top discord at {} should cover the corrupted beat",
+            top.first().unwrap().start
+        );
+    }
+
+    #[test]
+    fn run_for_duration_respects_zero_budget() {
+        let series = test_series(150);
+        let mut monitor = StreamingDiscordMonitor::new(8);
+        monitor.append(&series);
+        assert_eq!(monitor.run_for_duration(Duration::ZERO), 0);
+        assert_eq!(monitor.processed(), 0);
+    }
+
+    #[test]
+    fn seed_changes_order_not_result() {
+        let series = test_series(170);
+        let m = 7;
+        let exc = m / 2;
+        let reference = stamp_with_exclusion(&series, m, exc);
+        for seed in 0..5u64 {
+            let mut monitor = StreamingDiscordMonitor::with_seed(m, exc, seed);
+            for part in series.chunks(41) {
+                monitor.append(part);
+                monitor.run_for(17);
+            }
+            let finished = monitor.finish();
+            assert_eq!(finished.profile, reference.profile, "seed {seed}");
+            assert_eq!(finished.index, reference.index, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn single_append_equals_anytime_stamp() {
+        // With one append and no interleaving, the monitor is just
+        // anytime STAMP over the batch series.
+        let series = test_series(130);
+        let m = 6;
+        let exc = 3;
+        let mut monitor = StreamingDiscordMonitor::with_exclusion(m, exc);
+        monitor.append(&series);
+        let finished = monitor.finish();
+        let reference = stamp_with_exclusion(&series, m, exc);
+        assert_eq!(finished.profile, reference.profile);
+        assert_eq!(finished.index, reference.index);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        StreamingDiscordMonitor::new(0);
+    }
+}

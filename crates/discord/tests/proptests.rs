@@ -11,6 +11,7 @@ use egi_discord::dist::WindowStats;
 use egi_discord::mass::{mass_self, MassPrecomputed};
 use egi_discord::stamp::{stamp_per_query_fft, stamp_with_exclusion};
 use egi_discord::stomp::stomp_with_exclusion;
+use egi_discord::streaming::StreamingDiscordMonitor;
 use proptest::prelude::*;
 
 fn series_strategy() -> impl Strategy<Value = Vec<f64>> {
@@ -206,6 +207,93 @@ proptest! {
         }
         prop_assert_eq!(&previous.profile, &reference.profile);
         prop_assert_eq!(&previous.index, &reference.index);
+    }
+
+    /// `MassPrecomputed::append` leaves the struct bit-identical to a
+    /// fresh build over the concatenated series, for every split point
+    /// and chunking — the substrate of the streaming monitor's
+    /// finished-profile contract.
+    #[test]
+    fn mass_append_is_bit_identical_to_fresh(
+        series in series_strategy(),
+        m in 4usize..16,
+        split_pct in 0usize..=100,
+        chunk in 1usize..32,
+    ) {
+        prop_assume!(series.len() >= 2 * m);
+        let split = (m + (series.len() - m) * split_pct / 100).min(series.len());
+        let mut inc = MassPrecomputed::new(&series[..split], m);
+        for part in series[split..].chunks(chunk) {
+            inc.append(part);
+        }
+        let fresh = MassPrecomputed::new(&series, m);
+        prop_assert_eq!(inc.window_count(), fresh.window_count());
+        let count = fresh.window_count();
+        for q in [0, count / 2, count - 1] {
+            prop_assert_eq!(inc.distance_profile(q), fresh.distance_profile(q), "q = {}", q);
+        }
+    }
+
+    /// The streaming monitor converges to the batch profile, bitwise,
+    /// for every seed, chunk size, and interleaving of
+    /// `append`/`step`/`snapshot` — the tentpole acceptance contract.
+    #[test]
+    fn streaming_interleaved_converges_to_batch(
+        series in series_strategy(),
+        m in 4usize..16,
+        seed in 0u64..1_000_000_000,
+        chunk in 1usize..40,
+        budget in 0usize..25,
+    ) {
+        prop_assume!(series.len() >= 2 * m);
+        let exc = m / 2;
+        let reference = stamp_with_exclusion(&series, m, exc);
+        let mut monitor = StreamingDiscordMonitor::with_seed(m, exc, seed);
+        for part in series.chunks(chunk) {
+            monitor.append(part);
+            monitor.run_for(budget);
+            let snap = monitor.snapshot();
+            prop_assert_eq!(snap.len(), monitor.window_count());
+            // Every snapshot entry is an upper bound on the batch
+            // profile (up to FFT round-off on carry-over evidence).
+            for i in 0..snap.len() {
+                prop_assert!(
+                    snap.profile[i] >= reference.profile[i] - 1e-9 * (1.0 + reference.profile[i]),
+                    "entry {} undershot the batch profile", i
+                );
+            }
+        }
+        let finished = monitor.finish();
+        prop_assert!(monitor.is_current());
+        prop_assert_eq!(&finished.profile, &reference.profile);
+        prop_assert_eq!(&finished.index, &reference.index);
+    }
+
+    /// The streaming monitor's parallel finish is bit-identical to the
+    /// batch profile for every worker count and append schedule.
+    #[test]
+    fn streaming_parallel_finish_deterministic(
+        series in series_strategy(),
+        m in 4usize..12,
+        seed in 0u64..1_000_000_000,
+        chunk in 1usize..40,
+        threads in 2usize..9,
+    ) {
+        prop_assume!(series.len() >= 2 * m);
+        let exc = m / 2;
+        let reference = stamp_with_exclusion(&series, m, exc);
+        let mut monitor = StreamingDiscordMonitor::with_seed(m, exc, seed);
+        for part in series.chunks(chunk) {
+            monitor.append(part);
+            monitor.run_for(chunk / 2);
+        }
+        let finished = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| monitor.finish_parallel());
+        prop_assert_eq!(&finished.profile, &reference.profile);
+        prop_assert_eq!(&finished.index, &reference.index);
     }
 
     /// Scaling and shifting the series leaves the (z-normalized) matrix

@@ -24,6 +24,23 @@
 //! implementations are the executable specification, the fast ones are what
 //! the detectors run, and the test suites (unit + property) pin them to
 //! agree exactly.
+//!
+//! # Examples
+//!
+//! Discretize one subsequence into a SAX word (`w = 4` PAA segments,
+//! alphabet size `a = 3`):
+//!
+//! ```
+//! use egi_sax::{sax_word, BreakpointTable, SaxConfig};
+//!
+//! let sub: Vec<f64> = (0..32).map(|i| (i as f64 * 0.5).sin()).collect();
+//! let config = SaxConfig::new(4, 3);
+//! let table = BreakpointTable::new(config.a);
+//! let word = sax_word(&sub, config, &table);
+//! assert_eq!(word.len(), 4);
+//! // Symbols render as lowercase letters, 'a' for the lowest region.
+//! assert!(word.to_letters().chars().all(|c| ('a'..='c').contains(&c)));
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -1,5 +1,5 @@
 //! MINDIST — the classic SAX lower-bounding distance (Lin et al. 2007,
-//! the paper's reference [12]).
+//! the paper's reference \[12\]).
 //!
 //! `MINDIST(Q̂, Ĉ) = √(n/w) · √(Σ_i cell(q_i, c_i)²)` where `cell(r, c)` is
 //! the gap between the breakpoint regions of two symbols (zero for

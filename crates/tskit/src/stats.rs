@@ -136,6 +136,44 @@ impl PrefixStats {
         Self { sum, sum_sq }
     }
 
+    /// Extends the prefix sums with further series points.
+    ///
+    /// The accumulation continues from the stored running totals, so the
+    /// result is **bit-identical** to rebuilding from scratch over the
+    /// concatenated series: `PrefixStats::new(&[a, b].concat())` and
+    /// `{ let mut p = PrefixStats::new(&a); p.extend(&b); p }` hold the
+    /// same values in every slot. The online discord monitor relies on
+    /// this to keep its incremental window statistics exact.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use egi_tskit::PrefixStats;
+    ///
+    /// let mut incremental = PrefixStats::new(&[1.0, 2.0]);
+    /// incremental.extend(&[3.0, 4.0]);
+    /// let batch = PrefixStats::new(&[1.0, 2.0, 3.0, 4.0]);
+    /// assert_eq!(incremental.range_sum(0, 4), batch.range_sum(0, 4));
+    /// assert_eq!(incremental.len(), 4);
+    /// ```
+    pub fn extend(&mut self, values: &[f64]) {
+        let (mut s, mut ss) = (
+            *self.sum.last().expect("sum always has the zero sentinel"),
+            *self
+                .sum_sq
+                .last()
+                .expect("sum_sq always has the zero sentinel"),
+        );
+        self.sum.reserve(values.len());
+        self.sum_sq.reserve(values.len());
+        for &v in values {
+            s += v;
+            ss += v * v;
+            self.sum.push(s);
+            self.sum_sq.push(ss);
+        }
+    }
+
     /// Length of the underlying series.
     pub fn len(&self) -> usize {
         self.sum.len() - 1
@@ -316,6 +354,45 @@ mod tests {
         for s in 0..60 {
             assert!(ps.range_variance(s, s + 4) >= 0.0);
             assert!(ps.range_stddev_population(s, s + 4) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn prefix_extend_is_bit_identical_to_batch() {
+        let full: Vec<f64> = (0..200)
+            .map(|i| (i as f64 * 0.83).sin() * 7.0 - 2.5)
+            .collect();
+        for split in [0usize, 1, 63, 199, 200] {
+            let mut inc = PrefixStats::new(&full[..split]);
+            inc.extend(&full[split..]);
+            let batch = PrefixStats::new(&full);
+            assert_eq!(inc.len(), batch.len());
+            for e in 0..=full.len() {
+                assert_eq!(
+                    inc.range_sum(0, e),
+                    batch.range_sum(0, e),
+                    "split {split} end {e}"
+                );
+                assert_eq!(
+                    inc.range_sum_sq(0, e),
+                    batch.range_sum_sq(0, e),
+                    "split {split} end {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_extend_in_many_chunks() {
+        let full: Vec<f64> = (0..97).map(|i| ((i * i) as f64 * 0.01).cos()).collect();
+        let mut inc = PrefixStats::new(&[]);
+        for chunk in full.chunks(7) {
+            inc.extend(chunk);
+        }
+        let batch = PrefixStats::new(&full);
+        for e in 0..=full.len() {
+            assert_eq!(inc.range_sum(0, e), batch.range_sum(0, e));
+            assert_eq!(inc.range_sum_sq(0, e), batch.range_sum_sq(0, e));
         }
     }
 

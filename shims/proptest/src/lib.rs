@@ -159,7 +159,7 @@ pub mod prop {
             }
         }
 
-        /// Strategy produced by [`vec`].
+        /// Strategy produced by [`vec()`].
         #[derive(Debug, Clone)]
         pub struct VecStrategy<S> {
             element: S,

@@ -136,7 +136,7 @@ pub struct ParIter<T> {
 
 impl<T: Send> ParIter<T> {
     /// Parallel map; terminate with [`ParMap::collect`] or
-    /// [`ParMap::for_each`]-equivalent.
+    /// [`ParIter::for_each`]-equivalent.
     pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
         ParMap {
             items: self.items,
