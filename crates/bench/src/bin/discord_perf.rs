@@ -16,6 +16,10 @@
 //!   per-append refresh latency at several chunk sizes, streaming the
 //!   second half of the fixture (caught-up profile asserted
 //!   bit-identical to batch STAMP);
+//! * **Streaming ensemble** — `StreamingEnsembleDetector`: append
+//!   throughput and per-append member-refresh latency at several chunk
+//!   sizes, streaming the second half of the fixture (finished report
+//!   asserted bit-identical to batch `EnsembleDetector::detect`);
 //! * **Ensemble** — `EnsembleDetector::detect`, serial vs parallel.
 //!
 //! Writes `BENCH_discord.json` into the current directory (override with
@@ -25,7 +29,7 @@
 use std::time::Instant;
 
 use egi_bench::fixture_ecg;
-use egi_core::{EnsembleConfig, EnsembleDetector};
+use egi_core::{EnsembleConfig, EnsembleDetector, StreamingEnsembleDetector};
 use egi_discord::anytime::AnytimeStamp;
 use egi_discord::dist::WindowStats;
 use egi_discord::mass::{mass_self, MassPrecomputed, MassScratch};
@@ -363,6 +367,59 @@ fn main() {
         ));
     }
 
+    // Streaming ensemble: append throughput and per-append refresh
+    // latency of StreamingEnsembleDetector at several chunk sizes,
+    // streaming the second half of the fixture. Each run's finished
+    // report is asserted bit-identical to batch EnsembleDetector::detect
+    // (scores, ranked indices, tie-breaks, curve), so the CI perf smoke
+    // fails on any streaming/batch ensemble divergence.
+    let (es_window, es_members) = if quick { (64, 8) } else { (256, 10) };
+    let es_seed = 1u64;
+    let es_config = EnsembleConfig {
+        window: es_window,
+        ensemble_size: es_members,
+        ..EnsembleConfig::default()
+    };
+    let es_reference = EnsembleDetector::new(es_config).detect(&series, 3, es_seed);
+    let mut es_rows = Vec::new();
+    for &chunk in &stream_chunks {
+        let mut detector = StreamingEnsembleDetector::new(es_config, es_seed);
+        detector.append(&series[..warm]);
+        let (es_warm_secs, _) = seconds(|| detector.run_for(usize::MAX));
+        let mut append_secs = 0.0f64;
+        let mut appends = 0usize;
+        let (mut refresh_total, mut refresh_max) = (0.0f64, 0.0f64);
+        for part in series[warm..].chunks(chunk) {
+            let (a, ()) = seconds(|| detector.append(part));
+            append_secs += a;
+            appends += 1;
+            // Per-append refresh: bring every member current again.
+            let (r, ran) = seconds(|| detector.run_for(usize::MAX));
+            assert_eq!(ran, es_members, "every member refreshes once per append");
+            refresh_total += r;
+            refresh_max = refresh_max.max(r);
+        }
+        let (finish_secs, report) = seconds(|| detector.finish(3));
+        assert_eq!(
+            report, es_reference,
+            "streaming ensemble (chunk {chunk}) deviates from batch detect"
+        );
+        let streamed = series_len - warm;
+        let points_per_sec = streamed as f64 / (append_secs + refresh_total);
+        let refresh_mean = refresh_total / appends as f64;
+        eprintln!(
+            "ESTREAM chunk {chunk:>4}: {appends} appends, append {append_secs:.3}s, \
+             refresh mean {refresh_mean:.4}s / max {refresh_max:.4}s, \
+             {points_per_sec:.0} pts/s sustained, finish {finish_secs:.3}s"
+        );
+        es_rows.push(format!(
+            "    {{ \"chunk\": {chunk}, \"appends\": {appends}, \"warmup_secs\": {es_warm_secs:.6}, \
+             \"append_secs\": {append_secs:.6}, \"refresh_mean_secs\": {refresh_mean:.6}, \
+             \"refresh_max_secs\": {refresh_max:.6}, \"points_per_sec\": {points_per_sec:.1}, \
+             \"finish_secs\": {finish_secs:.6} }}"
+        ));
+    }
+
     // Ensemble detection: serial vs parallel members.
     let (ens_len, ens_window, ens_members) = if quick {
         (8_000, 128, 10)
@@ -402,6 +459,9 @@ fn main() {
          \"parallel_stamp\": {{\n    \"series_len\": {series_len},\n    \"m\": {m},\n    \"runs\": [\n{pstamp_rows}\n    ]\n  }},\n  \
          \"streaming\": {{\n    \"series_len\": {series_len},\n    \"m\": {m},\n    \
          \"warmup_points\": {warm},\n    \"runs\": [\n{streaming_rows}\n    ]\n  }},\n  \
+         \"ensemble_streaming\": {{\n    \"series_len\": {series_len},\n    \"window\": {es_window},\n    \
+         \"members\": {es_members},\n    \"seed\": {es_seed},\n    \"warmup_points\": {warm},\n    \
+         \"runs\": [\n{es_rows}\n    ]\n  }},\n  \
          \"ensemble\": {{\n    \"series_len\": {ens_len},\n    \"window\": {ens_window},\n    \
          \"members\": {ens_members},\n    \"serial_secs\": {ens_serial_secs:.6},\n    \
          \"parallel_secs\": {ens_parallel_secs:.6}\n  }}\n}}\n",
@@ -414,6 +474,7 @@ fn main() {
         anytime_rows = anytime_rows.join(",\n"),
         pstamp_rows = pstamp_rows.join(",\n"),
         streaming_rows = streaming_rows.join(",\n"),
+        es_rows = es_rows.join(",\n"),
     );
     std::fs::write(&out_path, json).expect("write bench json");
     eprintln!("wrote {out_path}");

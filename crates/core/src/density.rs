@@ -7,7 +7,7 @@
 //! a rule are incompressible — the anomaly candidates.
 
 use egi_sax::NumerosityReduced;
-use egi_sequitur::Grammar;
+use egi_sequitur::{Grammar, RuleOccurrence};
 
 /// A rule density curve over a time series.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,8 +27,29 @@ impl RuleDensityCurve {
     /// convention. Interval additions use a difference array, so the build
     /// is `O(occurrences + series_len)`.
     pub fn build(grammar: &Grammar, nr: &NumerosityReduced, series_len: usize) -> Self {
+        Self::from_occurrences(&grammar.occurrences(), nr, series_len)
+    }
+
+    /// Builds the curve directly from an occurrence list — the entry
+    /// point for incremental maintenance: the streaming detector feeds
+    /// the live engine's [`Sequitur::occurrences`] here after each
+    /// batch of pushes, skipping grammar extraction entirely.
+    ///
+    /// Only the `(start, len)` spans are read (rule ids — dense or
+    /// engine — are irrelevant), and the difference-array accumulation
+    /// adds exact small integers, so the result is **bit-identical**
+    /// for any enumeration order of the same occurrence multiset; in
+    /// particular [`build`](Self::build) over an extracted grammar and
+    /// this function over the live engine agree exactly.
+    ///
+    /// [`Sequitur::occurrences`]: egi_sequitur::Sequitur::occurrences
+    pub fn from_occurrences(
+        occurrences: &[RuleOccurrence],
+        nr: &NumerosityReduced,
+        series_len: usize,
+    ) -> Self {
         let mut diff = vec![0.0f64; series_len + 1];
-        for occ in grammar.occurrences() {
+        for occ in occurrences {
             debug_assert!(occ.len >= 1);
             let first_tok = occ.start;
             let last_tok = occ.start + occ.len - 1;
@@ -277,5 +298,118 @@ mod tests {
         };
         c.correct_edge_coverage(0);
         assert_eq!(c.values, vec![1.0, 1.0]);
+    }
+
+    // ------------------------------------------------------------------
+    // Boundary-handling regression tests (PR 4 audit): first/last
+    // window, empty numerosity-reduced output, and the short-series
+    // regimes of the edge correction.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn from_tokens_empty_nr_returns_flat_zero_curve() {
+        // A series shorter than the window produces no tokens; the
+        // curve must still have one (zero) value per series point so
+        // downstream combination never sees a length mismatch.
+        let nr = numerosity_reduce(Vec::new(), 6);
+        let curve = RuleDensityCurve::from_tokens(&nr, 9);
+        assert_eq!(curve.values, vec![0.0; 9]);
+        // Degenerate series too: zero points, zero-length curve.
+        let curve = RuleDensityCurve::from_tokens(&nr, 0);
+        assert!(curve.is_empty());
+    }
+
+    #[test]
+    fn from_occurrences_with_no_occurrences_is_flat_zero() {
+        let nr = identity_nr(&[0, 1, 2], 2);
+        let curve = RuleDensityCurve::from_occurrences(&[], &nr, 4);
+        assert_eq!(curve.values, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn build_clamps_last_window_to_series_len() {
+        // A trailing occurrence whose last window extends past the end
+        // of the series (offset + window > series_len) must be clipped,
+        // not written out of bounds or wrapped.
+        let nr = identity_nr(&[4, 5, 4, 5], 4); // offsets 0..=3, window 4
+        let occ = [egi_sequitur::RuleOccurrence {
+            rule: 1,
+            start: 2,
+            len: 2,
+        }];
+        // Token 3 sits at offset 3; its window would cover [3, 7) but
+        // the series has only 5 points.
+        let curve = RuleDensityCurve::from_occurrences(&occ, &nr, 5);
+        assert_eq!(curve.values, vec![0.0, 0.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn build_covers_first_window_from_point_zero() {
+        let nr = identity_nr(&[7, 8, 7, 8], 3);
+        let occ = [egi_sequitur::RuleOccurrence {
+            rule: 1,
+            start: 0,
+            len: 2,
+        }];
+        // Covers [offset(0), offset(1) + 3) = [0, 4).
+        let curve = RuleDensityCurve::from_occurrences(&occ, &nr, 6);
+        assert_eq!(curve.values, vec![1.0, 1.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn edge_correction_single_window_series_is_noop() {
+        // n == window: exactly one window exists, every point is
+        // covered by it, so there is no attenuation to correct.
+        let mut curve = RuleDensityCurve {
+            values: vec![2.0; 5],
+        };
+        curve.correct_edge_coverage(5);
+        assert_eq!(curve.values, vec![2.0; 5]);
+    }
+
+    #[test]
+    fn edge_correction_window_longer_than_series_is_noop() {
+        // window > n: no sliding window fits, so the curve (all zeros
+        // in practice) must pass through unchanged — in particular no
+        // division blow-up from the max_windows = 1 clamp.
+        let mut curve = RuleDensityCurve {
+            values: vec![3.0, 1.0, 2.0],
+        };
+        curve.correct_edge_coverage(7);
+        assert_eq!(curve.values, vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn edge_correction_window_one_is_noop() {
+        // window == 1: every point lies in exactly one window; the
+        // ramp is already flat.
+        let mut curve = RuleDensityCurve {
+            values: vec![1.0, 4.0, 2.0],
+        };
+        curve.correct_edge_coverage(1);
+        assert_eq!(curve.values, vec![1.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn edge_correction_flattens_short_series_regime() {
+        // window ≤ n < 2·window − 1: the interior plateau is capped by
+        // max_windows = n − window + 1 rather than by window, the case
+        // the `.min(max_windows)` terms exist for. Uniform coverage
+        // must still flatten exactly.
+        let n = 6;
+        let window = 4; // max_windows = 3 < window
+        let mut values = vec![0.0; n];
+        for (t, v) in values.iter_mut().enumerate() {
+            *v = (t + 1).min(window).min(n - t).min(n - window + 1) as f64;
+        }
+        assert_eq!(values, vec![1.0, 2.0, 3.0, 3.0, 2.0, 1.0]);
+        let mut curve = RuleDensityCurve { values };
+        curve.correct_edge_coverage(window);
+        let first = curve.values[0];
+        assert!(
+            curve.values.iter().all(|&v| (v - first).abs() < 1e-9),
+            "not flat: {:?}",
+            curve.values
+        );
     }
 }

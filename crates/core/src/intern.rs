@@ -24,6 +24,46 @@ pub fn intern_tokens(nr: &NumerosityReduced) -> Vec<u32> {
     out
 }
 
+/// An interning table that assigns ids one word at a time — the online
+/// counterpart of [`intern_tokens`] for the streaming detector.
+///
+/// Ids are dense `u32`s in first-seen order, so feeding the words of a
+/// token sequence through [`OnlineInterner::intern`] in order yields
+/// exactly the ids [`intern_tokens`] assigns to the whole sequence at
+/// once, for every append schedule.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineInterner {
+    table: HashMap<SaxWord, u32>,
+}
+
+impl OnlineInterner {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The id of `word`, assigning the next dense id on first sight
+    /// (the word is cloned into the table only in that case).
+    pub fn intern(&mut self, word: &SaxWord) -> u32 {
+        if let Some(&id) = self.table.get(word) {
+            return id;
+        }
+        let id = self.table.len() as u32;
+        self.table.insert(word.clone(), id);
+        id
+    }
+
+    /// Number of distinct words seen.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// `true` before any word has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,5 +96,16 @@ mod tests {
     fn deterministic_across_calls() {
         let nr = nr_from(&[b"aa", b"bb", b"aa", b"cc"]);
         assert_eq!(intern_tokens(&nr), intern_tokens(&nr));
+    }
+
+    #[test]
+    fn online_interner_matches_batch() {
+        let nr = nr_from(&[b"ab", b"cd", b"ab", b"ee", b"cd", b"ff", b"ab"]);
+        let batch = intern_tokens(&nr);
+        let mut online = OnlineInterner::new();
+        let incremental: Vec<u32> = nr.tokens.iter().map(|t| online.intern(&t.word)).collect();
+        assert_eq!(incremental, batch);
+        assert_eq!(online.len(), 4);
+        assert!(!online.is_empty());
     }
 }

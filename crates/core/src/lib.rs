@@ -17,6 +17,11 @@
 //! * [`runtime`] — the ensemble execution runtime: PAA-stream
 //!   deduplication across members plus rayon-style parallelism with
 //!   order-preserving (bit-deterministic) collection.
+//! * [`streaming`] — **online ensemble grammar induction**:
+//!   [`StreamingEnsembleDetector`] appends live traffic, refreshes
+//!   members under wall-clock [`Deadline`](egi_tskit::Deadline)
+//!   budgets, and finishes bit-identical to batch
+//!   [`EnsembleDetector::detect`].
 //! * [`select`] — the GI-Select parameter-search baseline (Section 7.1.3).
 //! * [`multiwindow`] — an extension beyond the paper: ensemble over
 //!   several sliding-window lengths, reporting variable-length anomalies.
@@ -56,11 +61,13 @@ pub mod multiwindow;
 pub mod runtime;
 pub mod select;
 pub mod single;
+pub mod streaming;
 
 pub use density::RuleDensityCurve;
 pub use detector::{rank_anomalies, AnomalyReport, Candidate};
 pub use ensemble::{Combiner, EnsembleConfig, EnsembleDetector, MemberDiagnostics};
-pub use intern::intern_tokens;
+pub use intern::{intern_tokens, OnlineInterner};
 pub use multiwindow::{MultiWindowConfig, MultiWindowEnsemble};
 pub use select::select_parameters;
 pub use single::{GiConfig, SingleGiDetector};
+pub use streaming::StreamingEnsembleDetector;

@@ -1,0 +1,673 @@
+//! Streaming ensemble grammar induction: the paper's headline detector
+//! as an online, append-to-series pipeline.
+//!
+//! [`StreamingEnsembleDetector`] owns a growing time series and keeps
+//! the ensemble rule-density curve — and therefore the anomaly ranking
+//! — current as points are appended, under hard latency budgets
+//! between appends. It is the grammar-induction sibling of
+//! `egi_discord::streaming::StreamingDiscordMonitor` (PR 3): ingest a
+//! chunk of live traffic, spend a bounded slice of time refreshing
+//! members, answer "most anomalous windows so far", repeat.
+//!
+//! # Architecture
+//!
+//! Every ensemble member runs a fully incremental pipeline, one layer
+//! per crate:
+//!
+//! * **Prefix statistics** ([`egi_tskit::stats::PrefixStats`]) extend
+//!   their running totals per append — bit-identical to a batch
+//!   rebuild.
+//! * **Sliding PAA** ([`egi_sax::stream::PaaStream`]) appends the
+//!   coefficient rows of every window the new points completed, via
+//!   the one shared FastPAA kernel
+//!   ([`egi_sax::paa_znorm_from_stats`]). Streams are shared across
+//!   members with equal PAA size `w` (the runtime's deduplication).
+//! * **SAX word emission + numerosity reduction**
+//!   ([`egi_sax::NumerosityReduced::push_word`]) fold new windows into
+//!   the token sequence online — the batch reducer is literally this
+//!   fold.
+//! * **Interning + grammar induction**
+//!   ([`crate::intern::OnlineInterner`], [`egi_sequitur::Sequitur::push`])
+//!   feed each retained token to the inherently online Sequitur engine.
+//! * **Rule density** is re-derived from the live grammar's
+//!   incrementally accounted occurrence spans
+//!   ([`egi_sequitur::Sequitur::occurrences`] →
+//!   [`RuleDensityCurve::from_occurrences`]) — no grammar extraction,
+//!   no bottom-up recomputation.
+//!
+//! Member curves combine under the *batch* detector's own
+//! [`EnsembleDetector::combine_curves`] (σ-ranking, τ-filter,
+//! max-normalization, point-wise combiner), so there is one Algorithm 1
+//! implementation, not two.
+//!
+//! # Why streaming SAX is *exactly* incremental here
+//!
+//! The discord monitor must re-run old queries after an append because
+//! its FFT rounding depends on the global transform length. The
+//! grammar-induction pipeline has no such global: a window's
+//! z-normalization statistics come from prefix sums over `[start,
+//! start + n]` only, and [`PrefixStats::extend`] leaves every existing
+//! slot bit-identical — so **nothing computed before an append ever
+//! needs recomputation**. No numerical carry-over layer exists because
+//! none is needed.
+//!
+//! What *does* shift under appends is grammar structure: Sequitur may
+//! form a new rule whose second occurrence is fresh but whose first
+//! occurrence covers an old region, retroactively raising old density.
+//! A member's cached curve is therefore a **carry-over in the
+//! structural sense**: exact for the member's consumed prefix *as of
+//! its last refresh*, served zero-padded to the current series length
+//! by [`StreamingEnsembleDetector::snapshot`] until the member's next
+//! refresh (mirroring the discord monitor's live-snapshot carry). Once
+//! every member has caught up
+//! ([`StreamingEnsembleDetector::is_current`]), the snapshot *is* the
+//! batch ensemble curve, bit for bit.
+//!
+//! # Parity and budget contract
+//!
+//! * [`StreamingEnsembleDetector::finish`] returns an [`AnomalyReport`]
+//!   — scores, ranked anomaly indices, tie-breaks, and the ensemble
+//!   curve — **bit-identical** to batch
+//!   [`EnsembleDetector::detect`] on the full ingested series, for
+//!   every append schedule, chunk size (including 1-point appends),
+//!   seed, and rayon worker count (property-tested, the PR 3 contract).
+//! * One **unit of work** is one member refresh
+//!   ([`StreamingEnsembleDetector::step`]): discretize that member's
+//!   backlog of fresh windows and rebuild its density curve.
+//!   [`StreamingEnsembleDetector::run_until`] checks the shared
+//!   [`Deadline`] before each unit, so a wall-clock deadline is
+//!   overshot by at most one member refresh (regression-tested).
+//! * [`StreamingEnsembleDetector::append`] never does scoring work:
+//!   its cost is `O(c)` statistics extension for `c` new points, plus
+//!   `O(members)` queue bookkeeping.
+//!
+//! [`PrefixStats::extend`]: egi_tskit::stats::PrefixStats::extend
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use egi_sax::stream::PaaStream;
+use egi_sax::{MultiResBreakpoints, NumerosityReduced, SaxConfig, SaxWord};
+use egi_sequitur::Sequitur;
+use egi_tskit::stats::PrefixStats;
+use egi_tskit::window::window_count;
+use egi_tskit::Deadline;
+use rayon::prelude::*;
+
+use crate::density::RuleDensityCurve;
+use crate::detector::{rank_anomalies, AnomalyReport, Candidate};
+use crate::ensemble::{EnsembleConfig, EnsembleDetector};
+use crate::intern::OnlineInterner;
+
+/// One ensemble member's incremental pipeline state: its token
+/// sequence, live grammar, and last-computed density curve.
+#[derive(Debug)]
+struct MemberState {
+    /// The member's `(w, a)` draw.
+    sax: SaxConfig,
+    /// Index of the shared PAA stream for this member's `w`.
+    stream: usize,
+    /// Sliding windows already folded into the token pipeline.
+    consumed: usize,
+    /// Online numerosity-reduced token sequence.
+    nr: NumerosityReduced,
+    /// Online SAX-word interning table.
+    interner: OnlineInterner,
+    /// The live Sequitur engine.
+    seq: Sequitur,
+    /// Density curve from the last refresh; `curve.len()` records the
+    /// series length it was computed at.
+    curve: RuleDensityCurve,
+}
+
+/// Advances one member through every window in `consumed..target` and
+/// rebuilds its density curve at `series_len` points.
+///
+/// This is the "one unit of work" of the budget contract, shared by the
+/// serial [`StreamingEnsembleDetector::step`] path and the parallel
+/// catch-up — members are independent, so running units in any order or
+/// on any worker count yields identical member states.
+fn refresh_member(
+    member: &mut MemberState,
+    stream: &PaaStream,
+    multi: &MultiResBreakpoints,
+    target: usize,
+    series_len: usize,
+) {
+    for start in member.consumed..target {
+        let row = stream.row(start);
+        let word = SaxWord(row.iter().map(|&c| multi.symbol(c, member.sax.a)).collect());
+        if member.nr.push_word(word) {
+            let word = &member.nr.tokens.last().expect("word just retained").word;
+            let id = member.interner.intern(word);
+            member.seq.push(id);
+        }
+    }
+    member.consumed = target;
+    member.curve =
+        RuleDensityCurve::from_occurrences(&member.seq.occurrences(), &member.nr, series_len);
+}
+
+/// An online ensemble grammar-induction detector over an append-only
+/// time series.
+///
+/// See the [module docs](self) for the architecture, the
+/// exact-vs-carry-over split, and the parity contract.
+///
+/// # Examples
+///
+/// ```
+/// use egi_core::streaming::StreamingEnsembleDetector;
+/// use egi_core::{EnsembleConfig, EnsembleDetector};
+///
+/// // A sine train with one corrupted beat in the second half.
+/// let mut series: Vec<f64> = (0..600).map(|i| (i as f64 * 0.2).sin()).collect();
+/// for (k, v) in series[400..430].iter_mut().enumerate() {
+///     *v = 1.5 + (k as f64 * 1.3).cos();
+/// }
+///
+/// let config = EnsembleConfig {
+///     window: 40,
+///     ensemble_size: 8,
+///     ..EnsembleConfig::default()
+/// };
+/// let seed = 7;
+/// let mut detector = StreamingEnsembleDetector::new(config, seed);
+/// for chunk in series.chunks(100) {
+///     detector.append(chunk);          // live traffic arrives…
+///     detector.run_for(4);             // …refresh up to 4 members now,
+///     let _ = detector.anomalies(1);   // best candidates so far
+/// }
+///
+/// // Caught up, the result is bit-identical to the batch detector.
+/// let report = detector.finish(1);
+/// let batch = EnsembleDetector::new(config).detect(&series, 1, seed);
+/// assert_eq!(report, batch);
+/// let top = &report.anomalies[0];
+/// assert!(top.start >= 360 && top.start <= 440, "found {}", top.start);
+/// ```
+#[derive(Debug)]
+pub struct StreamingEnsembleDetector {
+    detector: EnsembleDetector,
+    seed: u64,
+    multi: MultiResBreakpoints,
+    series: Vec<f64>,
+    stats: PrefixStats,
+    /// One shared PAA stream per distinct member PAA size `w`
+    /// (ascending), window length fixed at `config.window`.
+    streams: Vec<PaaStream>,
+    /// Members in draw order (= batch `member_params` order).
+    members: Vec<MemberState>,
+    /// Members awaiting a refresh, FIFO in member order.
+    stale: VecDeque<usize>,
+    /// Appends ingested so far.
+    epoch: u64,
+}
+
+impl StreamingEnsembleDetector {
+    /// Builds an empty streaming detector.
+    ///
+    /// `seed` draws the member `(w, a)` pairs exactly as batch
+    /// [`EnsembleDetector::detect`] does, so
+    /// [`finish`](StreamingEnsembleDetector::finish) can land on the
+    /// identical report.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid configurations as
+    /// [`EnsembleDetector::new`].
+    pub fn new(config: EnsembleConfig, seed: u64) -> Self {
+        let detector = EnsembleDetector::new(config);
+        let params = detector.member_params(seed);
+        let mut ws: Vec<usize> = params.iter().map(|p| p.w).collect();
+        ws.sort_unstable();
+        ws.dedup();
+        let streams: Vec<PaaStream> = ws
+            .iter()
+            .map(|&w| PaaStream::empty(config.window, w))
+            .collect();
+        let members: Vec<MemberState> = params
+            .iter()
+            .map(|&sax| MemberState {
+                sax,
+                stream: ws.binary_search(&sax.w).expect("w collected above"),
+                consumed: 0,
+                nr: NumerosityReduced::empty(config.window),
+                interner: OnlineInterner::new(),
+                seq: Sequitur::new(),
+                curve: RuleDensityCurve { values: Vec::new() },
+            })
+            .collect();
+        Self {
+            detector,
+            seed,
+            multi: MultiResBreakpoints::new(config.amax),
+            series: Vec::new(),
+            stats: PrefixStats::new(&[]),
+            streams,
+            members,
+            stale: VecDeque::new(),
+            epoch: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> EnsembleConfig {
+        self.detector.config()
+    }
+
+    /// The member-draw seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The drawn member parameter pairs, in member order (identical to
+    /// batch [`EnsembleDetector::member_params`] for this seed).
+    pub fn member_params(&self) -> Vec<SaxConfig> {
+        self.members.iter().map(|m| m.sax).collect()
+    }
+
+    /// Points ingested so far.
+    pub fn series_len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// The full series ingested so far.
+    pub fn series(&self) -> &[f64] {
+        &self.series
+    }
+
+    /// Number of sliding windows the current series supports.
+    pub fn window_count(&self) -> usize {
+        window_count(self.series.len(), self.config().window)
+    }
+
+    /// Members awaiting a refresh (= pending units of work).
+    pub fn pending_members(&self) -> usize {
+        self.stale.len()
+    }
+
+    /// Appends ingested so far.
+    pub fn epochs(&self) -> u64 {
+        self.epoch
+    }
+
+    /// `true` once every member's curve covers the current series —
+    /// from here [`snapshot`](Self::snapshot) and
+    /// [`anomalies`](Self::anomalies) answer with the exact batch
+    /// ensemble curve of the ingested series.
+    pub fn is_current(&self) -> bool {
+        self.stale.is_empty()
+    }
+
+    /// Ingests new points. Never blocks on scoring work: the cost is
+    /// the `O(c)` prefix-statistics extension plus `O(members)` queue
+    /// bookkeeping; all discretization, grammar, and density work is
+    /// deferred to [`step`](Self::step) / [`run_until`](Self::run_until)
+    /// so the caller controls the latency budget.
+    ///
+    /// Every member goes stale on an append — even when no new window
+    /// completed, curves must grow to the new series length (and fresh
+    /// tokens may retroactively change old coverage through new rules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` contains non-finite values (same contract as
+    /// batch [`EnsembleDetector::detect`]).
+    pub fn append(&mut self, points: &[f64]) {
+        assert!(
+            points.iter().all(|v| v.is_finite()),
+            "series contains non-finite values"
+        );
+        if points.is_empty() {
+            return;
+        }
+        self.epoch += 1;
+        self.series.extend_from_slice(points);
+        self.stats.extend(points);
+        self.stale.clear();
+        self.stale.extend(0..self.members.len());
+    }
+
+    /// Refreshes the next stale member (one unit of work): advances the
+    /// shared PAA stream, folds the member's backlog of fresh windows
+    /// through discretization → numerosity reduction → interning →
+    /// [`Sequitur::push`], and rebuilds its density curve at the
+    /// current series length. Returns `false` when no member is stale.
+    pub fn step(&mut self) -> bool {
+        let Some(i) = self.stale.pop_front() else {
+            return false;
+        };
+        let target = self.window_count();
+        let len = self.series.len();
+        let si = self.members[i].stream;
+        self.streams[si].extend_from_stats(&self.stats);
+        refresh_member(
+            &mut self.members[i],
+            &self.streams[si],
+            &self.multi,
+            target,
+            len,
+        );
+        true
+    }
+
+    /// Refreshes up to `n` members; returns how many ran.
+    pub fn run_for(&mut self, n: usize) -> usize {
+        self.run_until(Deadline::queries(n))
+    }
+
+    /// Refreshes members until `deadline` expires or the detector is
+    /// current; returns how many units ran. The deadline is checked
+    /// **before** each unit, so it is overshot by at most one member
+    /// refresh's work, and an already-expired deadline runs zero units.
+    pub fn run_until(&mut self, deadline: Deadline) -> usize {
+        let mut ran = 0;
+        while !deadline.expired(ran) && self.step() {
+            ran += 1;
+        }
+        ran
+    }
+
+    /// Refreshes members for (at most) `budget` of wall-clock time —
+    /// the "hard latency budget between appends" entry point.
+    pub fn run_for_duration(&mut self, budget: Duration) -> usize {
+        self.run_until(Deadline::after(budget))
+    }
+
+    /// The current best-known ensemble rule-density curve, combined
+    /// from each member's cached curve under the batch combination rule
+    /// (σ-rank → τ-filter → max-normalize → point-wise combine).
+    ///
+    /// Stale members contribute their last refresh zero-padded to the
+    /// current series length (the structural carry-over — see the
+    /// [module docs](self)); once
+    /// [`is_current`](Self::is_current), the result is bit-identical to
+    /// batch [`EnsembleDetector::ensemble_curve`] on the ingested
+    /// series.
+    pub fn snapshot(&self) -> RuleDensityCurve {
+        let len = self.series.len();
+        let curves: Vec<RuleDensityCurve> = self
+            .members
+            .iter()
+            .map(|m| {
+                let mut curve = m.curve.clone();
+                curve.values.resize(len, 0.0);
+                curve
+            })
+            .collect();
+        self.detector.combine_curves(curves)
+    }
+
+    /// Top-`k` non-overlapping anomaly candidates of the current
+    /// [`snapshot`](Self::snapshot) — the "most anomalous windows so
+    /// far" answer, available at any moment.
+    pub fn anomalies(&self, k: usize) -> Vec<Candidate> {
+        let curve = self.snapshot();
+        rank_anomalies(&curve.values, self.config().window, k)
+    }
+
+    /// Refreshes every stale member (on rayon workers when the
+    /// configuration says `parallel`, serially otherwise — results are
+    /// bit-identical either way) and returns the finished report:
+    /// **bit-identical** to batch [`EnsembleDetector::detect`] on the
+    /// full ingested series with this detector's seed, for every append
+    /// schedule, chunk size, and worker count.
+    pub fn finish(&mut self, k: usize) -> AnomalyReport {
+        self.catch_up();
+        let curve = self.snapshot();
+        let anomalies = rank_anomalies(&curve.values, self.config().window, k);
+        AnomalyReport {
+            anomalies,
+            curve: curve.values,
+        }
+    }
+
+    /// Drains the stale queue. Members are independent, so the parallel
+    /// path (in-place rayon iteration) produces states bit-identical to
+    /// the serial one.
+    fn catch_up(&mut self) {
+        if !self.config().parallel || self.stale.len() <= 1 {
+            while self.step() {}
+            return;
+        }
+        self.stale.clear();
+        let target = self.window_count();
+        let len = self.series.len();
+        for stream in self.streams.iter_mut() {
+            stream.extend_from_stats(&self.stats);
+        }
+        let streams = &self.streams;
+        let multi = &self.multi;
+        self.members.par_iter_mut().for_each(|member| {
+            if member.consumed < target || member.curve.len() != len {
+                let stream = &streams[member.stream];
+                refresh_member(member, stream, multi, target, len);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ensemble::Combiner;
+    use std::time::Instant;
+
+    fn test_series(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                (t * 0.11).sin() * 1.4 + 0.6 * (t * 0.037).cos() + ((i * 31) % 17) as f64 * 0.05
+            })
+            .collect()
+    }
+
+    fn config(window: usize, members: usize) -> EnsembleConfig {
+        EnsembleConfig {
+            window,
+            ensemble_size: members,
+            ..EnsembleConfig::default()
+        }
+    }
+
+    #[test]
+    fn finish_matches_batch_detect_bitwise() {
+        let series = test_series(400);
+        let cfg = config(32, 10);
+        let batch = EnsembleDetector::new(cfg).detect(&series, 3, 11);
+        for chunk in [1usize, 13, 100, 400] {
+            let mut streaming = StreamingEnsembleDetector::new(cfg, 11);
+            for part in series.chunks(chunk) {
+                streaming.append(part);
+            }
+            let report = streaming.finish(3);
+            assert_eq!(report, batch, "chunk {chunk}");
+            assert!(streaming.is_current());
+        }
+    }
+
+    #[test]
+    fn interleaved_stepping_still_matches_batch() {
+        let series = test_series(350);
+        let cfg = config(28, 8);
+        let batch = EnsembleDetector::new(cfg).detect(&series, 2, 5);
+        let mut streaming = StreamingEnsembleDetector::new(cfg, 5);
+        for part in series.chunks(37) {
+            streaming.append(part);
+            streaming.run_for(3); // leave a backlog on purpose
+            let _ = streaming.snapshot();
+            let _ = streaming.anomalies(2);
+        }
+        assert_eq!(streaming.finish(2), batch);
+    }
+
+    #[test]
+    fn member_draw_matches_batch_member_params() {
+        let cfg = config(64, 20);
+        let streaming = StreamingEnsembleDetector::new(cfg, 99);
+        let batch = EnsembleDetector::new(cfg).member_params(99);
+        assert_eq!(streaming.member_params(), batch);
+    }
+
+    #[test]
+    fn append_defers_all_scoring_work() {
+        let mut streaming = StreamingEnsembleDetector::new(config(16, 6), 1);
+        streaming.append(&test_series(200));
+        assert_eq!(streaming.pending_members(), 6);
+        assert_eq!(streaming.epochs(), 1);
+        assert!(!streaming.is_current());
+        // Members are untouched until stepped.
+        assert!(streaming.members.iter().all(|m| m.consumed == 0));
+        assert_eq!(streaming.run_for(usize::MAX), 6);
+        assert!(streaming.is_current());
+    }
+
+    #[test]
+    fn snapshot_before_any_step_is_all_zero() {
+        let mut streaming = StreamingEnsembleDetector::new(config(16, 5), 3);
+        streaming.append(&test_series(120));
+        let snap = streaming.snapshot();
+        assert_eq!(snap.len(), 120);
+        assert!(snap.values.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn snapshot_when_current_equals_batch_ensemble_curve() {
+        let series = test_series(300);
+        let cfg = config(24, 7);
+        let mut streaming = StreamingEnsembleDetector::new(cfg, 21);
+        for part in series.chunks(50) {
+            streaming.append(part);
+            streaming.run_for(usize::MAX);
+        }
+        let batch = EnsembleDetector::new(cfg).ensemble_curve(&series, 21);
+        assert_eq!(streaming.snapshot(), batch);
+    }
+
+    #[test]
+    fn short_series_yields_empty_everything() {
+        let mut streaming = StreamingEnsembleDetector::new(config(64, 5), 0);
+        streaming.append(&test_series(10)); // shorter than the window
+        assert_eq!(streaming.window_count(), 0);
+        assert!(streaming.anomalies(3).is_empty());
+        let report = streaming.finish(3);
+        assert!(report.anomalies.is_empty());
+        assert_eq!(report.curve, vec![0.0; 10]);
+        let batch = EnsembleDetector::new(config(64, 5)).detect(streaming.series(), 3, 0);
+        assert_eq!(report, batch);
+    }
+
+    #[test]
+    fn empty_append_is_a_noop() {
+        let mut streaming = StreamingEnsembleDetector::new(config(8, 4), 2);
+        streaming.append(&[]);
+        assert_eq!(streaming.epochs(), 0);
+        assert_eq!(streaming.series_len(), 0);
+        assert!(streaming.is_current());
+    }
+
+    #[test]
+    fn expired_deadline_runs_zero_units() {
+        let mut streaming = StreamingEnsembleDetector::new(config(8, 6), 4);
+        streaming.append(&test_series(100));
+        assert_eq!(streaming.run_until(Deadline::at(Instant::now())), 0);
+        assert_eq!(streaming.pending_members(), 6);
+        assert_eq!(streaming.run_for_duration(Duration::ZERO), 0);
+    }
+
+    #[test]
+    fn deadline_overshoots_by_at_most_one_unit() {
+        // A deadline that expires mid-run: the unit count processed can
+        // exceed the expiry check count by at most one (checked before
+        // each unit).
+        let mut streaming = StreamingEnsembleDetector::new(config(8, 10), 4);
+        streaming.append(&test_series(300));
+        let ran = streaming.run_until(Deadline::queries(3));
+        assert_eq!(ran, 3, "query-capped deadline runs exactly the cap");
+        assert_eq!(streaming.pending_members(), 7);
+    }
+
+    #[test]
+    fn parallel_and_serial_finish_agree_exactly() {
+        let series = test_series(320);
+        let serial_cfg = EnsembleConfig {
+            parallel: false,
+            ..config(20, 9)
+        };
+        let parallel_cfg = EnsembleConfig {
+            parallel: true,
+            ..config(20, 9)
+        };
+        let mut a = StreamingEnsembleDetector::new(serial_cfg, 8);
+        let mut b = StreamingEnsembleDetector::new(parallel_cfg, 8);
+        for part in series.chunks(60) {
+            a.append(part);
+            b.append(part);
+        }
+        assert_eq!(a.finish(3), b.finish(3));
+    }
+
+    #[test]
+    fn finish_deterministic_across_thread_counts() {
+        let series = test_series(280);
+        let cfg = config(18, 8);
+        let reference = EnsembleDetector::new(cfg).detect(&series, 2, 13);
+        for threads in [1usize, 2, 4] {
+            let mut streaming = StreamingEnsembleDetector::new(cfg, 13);
+            for part in series.chunks(45) {
+                streaming.append(part);
+                streaming.run_for(2);
+            }
+            let report = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| streaming.finish(2));
+            assert_eq!(report, reference, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn detects_planted_anomaly_mid_stream() {
+        let mut series: Vec<f64> = (0..500).map(|i| (i as f64 * 0.25).sin()).collect();
+        for (k, v) in series[350..380].iter_mut().enumerate() {
+            *v = 1.8 + (k as f64 * 1.1).cos();
+        }
+        let mut streaming = StreamingEnsembleDetector::new(config(40, 10), 42);
+        for part in series.chunks(125) {
+            streaming.append(part);
+            streaming.run_for(usize::MAX);
+        }
+        let top = streaming.anomalies(1);
+        assert_eq!(top.len(), 1);
+        assert!(
+            (310..=390).contains(&top[0].start),
+            "top candidate at {} should cover the corrupted beat",
+            top[0].start
+        );
+    }
+
+    #[test]
+    fn alternative_combiner_parity_holds_too() {
+        let series = test_series(260);
+        let cfg = EnsembleConfig {
+            combiner: Combiner::Mean,
+            selectivity: 0.6,
+            ..config(22, 7)
+        };
+        let batch = EnsembleDetector::new(cfg).detect(&series, 2, 77);
+        let mut streaming = StreamingEnsembleDetector::new(cfg, 77);
+        for part in series.chunks(19) {
+            streaming.append(part);
+        }
+        assert_eq!(streaming.finish(2), batch);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_append_rejected() {
+        let mut streaming = StreamingEnsembleDetector::new(config(8, 4), 0);
+        streaming.append(&[1.0, f64::NAN]);
+    }
+}

@@ -1,8 +1,24 @@
 //! Property-based tests for the detection core.
 
-use egi_core::{rank_anomalies, Combiner, EnsembleConfig, EnsembleDetector, RuleDensityCurve};
+use egi_core::{
+    rank_anomalies, Combiner, EnsembleConfig, EnsembleDetector, RuleDensityCurve,
+    StreamingEnsembleDetector,
+};
 use egi_tskit::window::intervals_overlap;
 use proptest::prelude::*;
+
+/// Deterministic pseudo-series: smooth enough for SAX structure,
+/// parameterized so every case sees different data.
+fn pseudo_series(len: usize, phase: f64) -> Vec<f64> {
+    (0..len)
+        .map(|i| {
+            let t = i as f64;
+            (t * 0.13 + phase).sin() * 1.5
+                + 0.5 * (t * 0.029 + 2.0 * phase).cos()
+                + ((i * 37) % 19) as f64 * 0.04
+        })
+        .collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -76,6 +92,79 @@ proptest! {
             prop_assert!(med.values[t] <= max.values[t] + 1e-9);
             prop_assert!((0.0..=1.0 + 1e-9).contains(&med.values[t]));
         }
+    }
+
+    /// Streaming/batch parity, full pipeline (PR 4):
+    /// `StreamingEnsembleDetector::finish` is bit-identical to batch
+    /// `EnsembleDetector::detect` — scores, ranked anomaly indices,
+    /// tie-breaks, and the ensemble curve — across randomized append
+    /// schedules (including 1-point appends), member counts, window
+    /// lengths, and seeds.
+    #[test]
+    fn streaming_finish_is_bit_identical_to_batch_detect(
+        len in 80usize..320,
+        phase in 0.0f64..6.0,
+        cuts in prop::collection::vec(1usize..60, 1..5),
+        members in 1usize..14,
+        window in 8usize..40,
+        seed in 0u64..1000,
+        interleave in 0usize..4,
+    ) {
+        let series = pseudo_series(len, phase);
+        let config = EnsembleConfig {
+            window,
+            ensemble_size: members,
+            ..EnsembleConfig::default()
+        };
+        let batch = EnsembleDetector::new(config).detect(&series, 3, seed);
+
+        let mut streaming = StreamingEnsembleDetector::new(config, seed);
+        let mut at = 0;
+        let mut i = 0;
+        while at < series.len() {
+            let c = cuts[i % cuts.len()].min(series.len() - at);
+            streaming.append(&series[at..at + c]);
+            at += c;
+            // Interleave partial refreshes and live reads; neither may
+            // perturb the finished result.
+            streaming.run_for(i % (interleave + 1));
+            if i % 3 == 0 {
+                let _ = streaming.anomalies(2);
+            }
+            i += 1;
+        }
+        let report = streaming.finish(3);
+        prop_assert_eq!(report, batch);
+        prop_assert!(streaming.is_current());
+    }
+
+    /// Worker-count invariance (PR 4): the parallel catch-up lands on
+    /// the same bits as serial for every thread count.
+    #[test]
+    fn streaming_finish_deterministic_across_worker_counts(
+        len in 100usize..260,
+        phase in 0.0f64..6.0,
+        members in 2usize..10,
+        seed in 0u64..100,
+        threads in 1usize..5,
+    ) {
+        let series = pseudo_series(len, phase);
+        let config = EnsembleConfig {
+            window: 16,
+            ensemble_size: members,
+            ..EnsembleConfig::default()
+        };
+        let reference = EnsembleDetector::new(config).detect(&series, 2, seed);
+        let mut streaming = StreamingEnsembleDetector::new(config, seed);
+        for part in series.chunks(33) {
+            streaming.append(part);
+        }
+        let report = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| streaming.finish(2));
+        prop_assert_eq!(report, reference);
     }
 
     /// Selectivity never changes the curve length, and τ = 1.0 keeps all

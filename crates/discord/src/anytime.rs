@@ -14,7 +14,8 @@
 //!   deadline-style stepping — process a budget of queries, look at the
 //!   [`AnytimeStamp::snapshot`], decide whether to keep going;
 //! * [`AnytimeStamp::run_until`] accepts a wall-clock [`Deadline`]
-//!   (an [`Instant`], a [`Duration`] budget, or a query cap): the
+//!   (an [`Instant`](std::time::Instant), a [`Duration`] budget, or a
+//!   query cap): the
 //!   clock is checked **before** each query, so a deadline is never
 //!   overshot by more than one query's work;
 //! * [`AnytimeStamp::finish_parallel`] fans the remaining queries out
@@ -43,7 +44,7 @@
 //! an anytime loop cheap enough to be useful — and the entry point for
 //! online discord monitoring later.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use rayon::prelude::*;
 
@@ -55,80 +56,16 @@ use crate::stomp::default_exclusion;
 /// Seed used by [`AnytimeStamp::new`] when the caller does not pick one.
 pub const DEFAULT_ORDER_SEED: u64 = 0x57A4_9A17;
 
-/// A stopping condition for [`AnytimeStamp::run_until`] (and the
-/// streaming monitor's refresh loop): a wall-clock instant, a query
-/// budget, or both.
+/// The shared stopping condition for budgeted refresh loops, hoisted
+/// into the substrate crate (PR 4) so both streaming subsystems — this
+/// crate's discord monitor and `egi-core`'s streaming ensemble detector
+/// — speak one deadline type. Re-exported here so existing
+/// `egi_discord::anytime::Deadline` users keep compiling unchanged.
 ///
-/// The driver checks the condition **before** each query, so a
-/// wall-clock deadline is overshot by at most one query's work and an
-/// already-expired deadline runs zero queries.
-///
-/// # Examples
-///
-/// ```
-/// use std::time::Duration;
-/// use egi_discord::anytime::Deadline;
-///
-/// // At most 5 ms of work…
-/// let wall = Deadline::after(Duration::from_millis(5));
-/// // …or at most 100 queries, whichever is hit first.
-/// let capped = wall.with_query_cap(100);
-/// assert!(!capped.expired(0));
-/// assert!(Deadline::queries(10).expired(10));
-/// ```
-#[derive(Debug, Clone, Copy)]
-pub struct Deadline {
-    at: Option<Instant>,
-    max_queries: usize,
-}
-
-impl Deadline {
-    /// Expires once the wall clock reaches `instant`.
-    pub fn at(instant: Instant) -> Self {
-        Self {
-            at: Some(instant),
-            max_queries: usize::MAX,
-        }
-    }
-
-    /// Expires `budget` from now (the instant is resolved at
-    /// construction, so build the deadline right before running).
-    pub fn after(budget: Duration) -> Self {
-        Self::at(Instant::now() + budget)
-    }
-
-    /// Expires after `n` queries, with no wall-clock bound — the
-    /// query-budget API ([`AnytimeStamp::run_for`]) expressed as a
-    /// deadline.
-    pub fn queries(n: usize) -> Self {
-        Self {
-            at: None,
-            max_queries: n,
-        }
-    }
-
-    /// Never expires (run to completion).
-    pub fn unbounded() -> Self {
-        Self {
-            at: None,
-            max_queries: usize::MAX,
-        }
-    }
-
-    /// Additionally caps the number of queries processed.
-    pub fn with_query_cap(self, n: usize) -> Self {
-        Self {
-            max_queries: self.max_queries.min(n),
-            ..self
-        }
-    }
-
-    /// `true` once the wall clock or the query budget is exhausted,
-    /// given `processed` queries already ran under this deadline.
-    pub fn expired(&self, processed: usize) -> bool {
-        processed >= self.max_queries || self.at.is_some_and(|at| Instant::now() >= at)
-    }
-}
+/// For [`AnytimeStamp`] and the streaming monitor, one "unit of work"
+/// is one MASS query: the condition is checked before each query, so a
+/// wall-clock deadline is overshot by at most one query's work.
+pub use egi_tskit::deadline::Deadline;
 
 /// Deterministic pseudo-random permutation of `0..n` (SplitMix64-keyed
 /// Fisher–Yates).
@@ -390,6 +327,8 @@ pub fn stamp_parallel(series: &[f64], m: usize) -> MatrixProfile {
 
 #[cfg(test)]
 mod tests {
+    use std::time::Instant;
+
     use super::*;
     use crate::stamp::stamp_with_exclusion;
 

@@ -39,6 +39,16 @@ impl<'a> FastSax<'a> {
         self.data
     }
 
+    /// The precomputed prefix-sum statistics (`ESum_x` / `ESum_xx`).
+    ///
+    /// Exposed so append-driven consumers ([`crate::stream`]'s growable
+    /// stream, the streaming ensemble detector) can run the same
+    /// [`paa_znorm_from_stats`] kernel on statistics they own and
+    /// extend incrementally.
+    pub fn stats(&self) -> &PrefixStats {
+        &self.stats
+    }
+
     /// Series length.
     pub fn len(&self) -> usize {
         self.data.len()
@@ -61,27 +71,7 @@ impl<'a> FastSax<'a> {
     ///
     /// Panics if the window is out of bounds or `out.len() > n`.
     pub fn paa_znorm_into(&self, start: usize, n: usize, out: &mut [f64]) {
-        let w = out.len();
-        assert!(w > 0 && w <= n, "PAA size {w} invalid for window {n}");
-        assert!(start + n <= self.data.len(), "window out of bounds");
-        let end = start + n;
-        let mu = self.stats.range_mean(start, end);
-        let var = if n < 2 {
-            0.0
-        } else {
-            self.stats.range_variance(start, end)
-        };
-        if is_flat(mu, var) {
-            out.iter_mut().for_each(|v| *v = 0.0);
-            return;
-        }
-        let sigma = var.sqrt();
-        for (i, coeff) in out.iter_mut().enumerate() {
-            let s = start + segment_bound(i, n, w);
-            let e = start + segment_bound(i + 1, n, w);
-            let seg_mean = self.stats.range_sum(s, e) / (e - s) as f64;
-            *coeff = (seg_mean - mu) / sigma;
-        }
+        paa_znorm_from_stats(&self.stats, start, n, out);
     }
 
     /// SAX word of window `[start, start + n)` under a single-resolution
@@ -106,6 +96,51 @@ impl<'a> FastSax<'a> {
         scratch.resize(cfg.w, 0.0);
         self.paa_znorm_into(start, n, scratch);
         SaxWord(scratch.iter().map(|&c| multi.symbol(c, cfg.a)).collect())
+    }
+}
+
+/// The FastPAA kernel (paper Algorithm 2) expressed directly over
+/// prefix-sum statistics: PAA coefficients of the z-normalized window
+/// `[start, start + n)`, written into `out` (whose length is the PAA
+/// size `w`).
+///
+/// This is the *one* code path every PAA consumer runs — batch
+/// ([`FastSax::paa_znorm_into`] delegates here) and streaming (the
+/// detectors extend their own [`PrefixStats`] per append and call this
+/// for each fresh window). A window's coefficients read only the prefix
+/// sums in `[start, start + n]`, and [`PrefixStats::extend`] is
+/// bit-identical to a batch rebuild, so coefficients computed before an
+/// append equal those computed after it — the keystone of the
+/// streaming/batch SAX parity contract.
+///
+/// Flat windows (per [`egi_tskit::stats::is_flat`]) produce all-zero
+/// coefficients, mirroring [`egi_tskit::stats::znormalize`].
+///
+/// # Panics
+///
+/// Panics if the window is out of range of the statistics or
+/// `out.len() > n`.
+pub fn paa_znorm_from_stats(stats: &PrefixStats, start: usize, n: usize, out: &mut [f64]) {
+    let w = out.len();
+    assert!(w > 0 && w <= n, "PAA size {w} invalid for window {n}");
+    assert!(start + n <= stats.len(), "window out of bounds");
+    let end = start + n;
+    let mu = stats.range_mean(start, end);
+    let var = if n < 2 {
+        0.0
+    } else {
+        stats.range_variance(start, end)
+    };
+    if is_flat(mu, var) {
+        out.iter_mut().for_each(|v| *v = 0.0);
+        return;
+    }
+    let sigma = var.sqrt();
+    for (i, coeff) in out.iter_mut().enumerate() {
+        let s = start + segment_bound(i, n, w);
+        let e = start + segment_bound(i + 1, n, w);
+        let seg_mean = stats.range_sum(s, e) / (e - s) as f64;
+        *coeff = (seg_mean - mu) / sigma;
     }
 }
 

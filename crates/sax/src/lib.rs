@@ -18,7 +18,9 @@
 //!   alphabet size `2..=amax` at once.
 //! * [`stream`] — shared PAA coefficient streams: compute each `(n, w)`
 //!   stream once, reuse it for every alphabet (the ensemble's PAA
-//!   deduplication).
+//!   deduplication); streams also grow incrementally
+//!   ([`PaaStream::extend_from_stats`]) for the streaming detector,
+//!   bit-identical to the batch build.
 //!
 //! The naive and fast paths are intentionally both kept public: the naive
 //! implementations are the executable specification, the fast ones are what
@@ -55,7 +57,7 @@ pub mod stream;
 pub mod word;
 
 pub use breakpoints::BreakpointTable;
-pub use discretize::{discretize_series, discretize_series_naive, FastSax};
+pub use discretize::{discretize_series, discretize_series_naive, paa_znorm_from_stats, FastSax};
 pub use mindist::MindistTable;
 pub use multires::{MultiResBreakpoints, SymbolColumn};
 pub use numerosity::{numerosity_reduce, NumerosityReduced, Token};

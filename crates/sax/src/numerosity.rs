@@ -38,6 +38,38 @@ pub struct NumerosityReduced {
 }
 
 impl NumerosityReduced {
+    /// An empty sequence (no windows examined yet) for online building
+    /// via [`NumerosityReduced::push_word`].
+    pub fn empty(window: usize) -> Self {
+        Self {
+            tokens: Vec::new(),
+            end_offset: 0,
+            window,
+        }
+    }
+
+    /// Feeds the SAX word of the next sliding window (offsets are
+    /// assigned consecutively). Returns `true` when the word opened a
+    /// new run and was retained as a token, `false` when it extended
+    /// the current run (and was dropped).
+    ///
+    /// Folding a word sequence through `push_word` is exactly
+    /// [`numerosity_reduce`] — the batch function is implemented as
+    /// this fold — so an online consumer (the streaming ensemble
+    /// detector) sees the identical token sequence for every append
+    /// schedule.
+    pub fn push_word(&mut self, word: SaxWord) -> bool {
+        let offset = self.end_offset;
+        self.end_offset += 1;
+        match self.tokens.last() {
+            Some(last) if last.word == word => false,
+            _ => {
+                self.tokens.push(Token { word, offset });
+                true
+            }
+        }
+    }
+
     /// Number of retained tokens.
     pub fn len(&self) -> usize {
         self.tokens.len()
@@ -76,19 +108,11 @@ impl NumerosityReduced {
 /// length it was produced with. Offsets in the output refer to positions in
 /// `words` (= window start positions).
 pub fn numerosity_reduce(words: Vec<SaxWord>, window: usize) -> NumerosityReduced {
-    let end_offset = words.len();
-    let mut tokens: Vec<Token> = Vec::new();
-    for (offset, word) in words.into_iter().enumerate() {
-        match tokens.last() {
-            Some(last) if last.word == word => {}
-            _ => tokens.push(Token { word, offset }),
-        }
+    let mut nr = NumerosityReduced::empty(window);
+    for word in words {
+        nr.push_word(word);
     }
-    NumerosityReduced {
-        tokens,
-        end_offset,
-        window,
-    }
+    nr
 }
 
 #[cfg(test)]
@@ -180,5 +204,28 @@ mod tests {
         let nr = numerosity_reduce(Vec::new(), 4);
         assert!(nr.is_empty());
         assert_eq!(nr.end_offset, 0);
+    }
+
+    #[test]
+    fn push_word_reports_retention() {
+        let mut nr = NumerosityReduced::empty(3);
+        assert!(nr.push_word(w(b"aa")));
+        assert!(!nr.push_word(w(b"aa"))); // run continues
+        assert!(nr.push_word(w(b"bb")));
+        assert!(nr.push_word(w(b"aa"))); // non-adjacent repeat retained
+        assert_eq!(nr.len(), 3);
+        assert_eq!(nr.end_offset, 4);
+        assert_eq!(nr.tokens[1].offset, 2);
+    }
+
+    #[test]
+    fn online_fold_equals_batch_reduce() {
+        let words = vec![w(b"x"), w(b"x"), w(b"y"), w(b"z"), w(b"z"), w(b"x")];
+        let batch = numerosity_reduce(words.clone(), 5);
+        let mut online = NumerosityReduced::empty(5);
+        for word in words {
+            online.push_word(word);
+        }
+        assert_eq!(online, batch);
     }
 }

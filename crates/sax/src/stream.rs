@@ -10,11 +10,21 @@
 //! symbol lookups with no PAA recomputation — the ensemble runtime's PAA
 //! deduplication.
 //!
+//! For append-only workloads (the streaming ensemble detector), a
+//! stream also grows incrementally: [`PaaStream::empty`] starts with no
+//! windows and [`PaaStream::extend_from_stats`] appends the coefficient
+//! rows of every window completed by newly ingested points, running the
+//! exact batch kernel ([`paa_znorm_from_stats`]) on prefix-sum
+//! statistics the caller extends per append — so an incrementally grown
+//! stream is **bit-identical** to [`PaaStream::new`] over the full
+//! series, for every append schedule (property-tested).
+//!
 //! [`discretize_series`]: crate::discretize::discretize_series
 
+use egi_tskit::stats::PrefixStats;
 use egi_tskit::window::window_count;
 
-use crate::discretize::FastSax;
+use crate::discretize::{paa_znorm_from_stats, FastSax};
 use crate::multires::MultiResBreakpoints;
 use crate::numerosity::{numerosity_reduce, NumerosityReduced};
 use crate::word::{SaxConfig, SaxWord};
@@ -41,18 +51,61 @@ impl PaaStream {
     ///
     /// Panics if `w == 0` or `w > n`.
     pub fn new(fast: &FastSax<'_>, n: usize, w: usize) -> Self {
+        let mut stream = Self::empty(n, w);
+        stream.extend_from_stats(fast.stats());
+        stream
+    }
+
+    /// An empty stream (no windows yet) for incremental building via
+    /// [`PaaStream::extend_from_stats`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w == 0` or `w > n`.
+    pub fn empty(n: usize, w: usize) -> Self {
         assert!(w > 0 && w <= n, "PAA size {w} invalid for window {n}");
-        let count = window_count(fast.len(), n);
-        let mut coeffs = vec![0.0; count * w];
-        for (start, row) in coeffs.chunks_exact_mut(w).enumerate() {
-            fast.paa_znorm_into(start, n, row);
-        }
         Self {
             n,
             w,
-            count,
-            coeffs,
+            count: 0,
+            coeffs: Vec::new(),
         }
+    }
+
+    /// Appends the coefficient rows of every window the series behind
+    /// `stats` has completed beyond the stream's current coverage;
+    /// returns how many rows were added.
+    ///
+    /// `stats` must be the prefix-sum statistics of the *same* series
+    /// the stream has seen so far, extended with the newly appended
+    /// points ([`PrefixStats::extend`]). Existing rows are never
+    /// touched: a window's coefficients read only the prefix sums in
+    /// `[start, start + n]`, which `extend` leaves bit-identical, so
+    /// after any append schedule the stream equals [`PaaStream::new`]
+    /// over the full series (property-tested).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stats` covers fewer points than the windows already
+    /// materialized (i.e. it belongs to a shorter series).
+    pub fn extend_from_stats(&mut self, stats: &PrefixStats) -> usize {
+        let target = window_count(stats.len(), self.n);
+        assert!(
+            target >= self.count,
+            "stats cover {} windows but the stream already has {}",
+            target,
+            self.count
+        );
+        let fresh = target - self.count;
+        self.coeffs.resize(target * self.w, 0.0);
+        for (row, start) in self.coeffs[self.count * self.w..]
+            .chunks_exact_mut(self.w)
+            .zip(self.count..target)
+        {
+            paa_znorm_from_stats(stats, start, self.n, row);
+        }
+        self.count = target;
+        fresh
     }
 
     /// The coefficient row of window `start`.
@@ -135,6 +188,47 @@ mod tests {
         let multi = MultiResBreakpoints::new(4);
         let nr = discretize_from_stream(&stream, SaxConfig::new(3, 3), &multi);
         assert!(nr.is_empty());
+    }
+
+    #[test]
+    fn incrementally_grown_stream_is_bit_identical_to_batch() {
+        let data = wave(300);
+        let n = 24;
+        let w = 5;
+        let batch = PaaStream::new(&FastSax::new(&data), n, w);
+        for chunk in [1usize, 7, 100, 300] {
+            let mut stats = egi_tskit::PrefixStats::new(&[]);
+            let mut grown = PaaStream::empty(n, w);
+            for part in data.chunks(chunk) {
+                stats.extend(part);
+                grown.extend_from_stats(&stats);
+            }
+            assert_eq!(grown.count, batch.count, "chunk {chunk}");
+            assert_eq!(grown.coeffs, batch.coeffs, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn extend_reports_fresh_row_count() {
+        let data = wave(40);
+        let mut stats = egi_tskit::PrefixStats::new(&data[..10]);
+        let mut stream = PaaStream::empty(8, 4);
+        // 10 points, n = 8 → 3 windows.
+        assert_eq!(stream.extend_from_stats(&stats), 3);
+        // No new points → no new rows.
+        assert_eq!(stream.extend_from_stats(&stats), 0);
+        stats.extend(&data[10..]);
+        assert_eq!(stream.extend_from_stats(&stats), 30);
+        assert_eq!(stream.count, 33);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has")]
+    fn extend_with_shorter_stats_panics() {
+        let data = wave(60);
+        let mut stream = PaaStream::empty(8, 4);
+        stream.extend_from_stats(&egi_tskit::PrefixStats::new(&data));
+        stream.extend_from_stats(&egi_tskit::PrefixStats::new(&data[..20]));
     }
 
     #[test]

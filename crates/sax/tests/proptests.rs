@@ -4,11 +4,29 @@
 //! matches the naive specification, numerosity reduction is lossless about
 //! run structure, and symbol assignment is consistent across resolutions.
 
+use egi_sax::stream::{discretize_from_stream, PaaStream};
 use egi_sax::{
     discretize_series, discretize_series_naive, numerosity_reduce, BreakpointTable, FastSax,
-    MultiResBreakpoints, SaxConfig, SaxWord,
+    MultiResBreakpoints, NumerosityReduced, SaxConfig, SaxWord,
 };
+use egi_tskit::PrefixStats;
 use proptest::prelude::*;
+
+/// Splits `data` into the append schedule described by `cuts` (chunk
+/// sizes cycle through `cuts`, clamped to what remains; 1-point appends
+/// included whenever a cut is 1).
+fn append_schedule<'a>(data: &'a [f64], cuts: &[usize]) -> Vec<&'a [f64]> {
+    let mut parts = Vec::new();
+    let mut at = 0;
+    let mut i = 0;
+    while at < data.len() {
+        let c = cuts[i % cuts.len()].max(1).min(data.len() - at);
+        parts.push(&data[at..at + c]);
+        at += c;
+        i += 1;
+    }
+    parts
+}
 
 fn series_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1e3f64..1e3, 8..max_len)
@@ -93,6 +111,59 @@ proptest! {
             }
         }
         prop_assert_eq!(rebuilt, words);
+    }
+
+    /// Streaming/batch parity, SAX layer (PR 4): a PAA stream grown
+    /// through any randomized append schedule (including 1-point
+    /// appends) is bit-identical to the batch stream, and therefore the
+    /// full SAX word sequences and numerosity-reduced token sequences
+    /// it induces are identical too.
+    #[test]
+    fn incrementally_grown_stream_matches_batch_for_any_schedule(
+        data in series_strategy(180),
+        cuts in prop::collection::vec(1usize..30, 1..6),
+        w in 2usize..8,
+        a in 2usize..10,
+        n in 8usize..40,
+    ) {
+        prop_assume!(w <= n);
+        let mut stats = PrefixStats::new(&[]);
+        let mut grown = PaaStream::empty(n, w);
+        for part in append_schedule(&data, &cuts) {
+            stats.extend(part);
+            grown.extend_from_stats(&stats);
+        }
+        let fast = FastSax::new(&data);
+        let batch = PaaStream::new(&fast, n, w);
+        prop_assert_eq!(grown.count, batch.count);
+        prop_assert_eq!(&grown.coeffs, &batch.coeffs);
+        // Word + numerosity level: the grown stream discretizes to the
+        // exact batch token sequence.
+        let multi = MultiResBreakpoints::new(10);
+        let cfg = SaxConfig::new(w, a);
+        let from_grown = discretize_from_stream(&grown, cfg, &multi);
+        let direct = discretize_series(&fast, n, cfg, &multi);
+        prop_assert_eq!(from_grown, direct);
+    }
+
+    /// Online numerosity reduction (word-at-a-time fold) equals the
+    /// batch reducer for every word sequence.
+    #[test]
+    fn online_numerosity_fold_matches_batch(
+        symbols in prop::collection::vec(0u8..5, 0..120),
+        window in 1usize..10,
+    ) {
+        let words: Vec<SaxWord> = symbols.iter().map(|&s| SaxWord(vec![s])).collect();
+        let batch = numerosity_reduce(words.clone(), window);
+        let mut online = NumerosityReduced::empty(window);
+        let mut retained = 0;
+        for word in words {
+            if online.push_word(word) {
+                retained += 1;
+            }
+        }
+        prop_assert_eq!(retained, batch.len());
+        prop_assert_eq!(online, batch);
     }
 
     /// PAA of a constant-shifted/scaled series yields the same SAX word

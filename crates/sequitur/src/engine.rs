@@ -14,7 +14,7 @@
 
 use rustc_hash::FxHashMap;
 
-use crate::grammar::{Grammar, GrammarRule, Symbol};
+use crate::grammar::{Grammar, GrammarRule, RuleOccurrence, Symbol};
 
 /// Sentinel "null" node index.
 const NIL: u32 = u32::MAX;
@@ -66,6 +66,12 @@ struct RuleRec {
     occ_head: u32,
     /// Number of occurrence nodes (reference count).
     uses: u32,
+    /// Number of terminals the rule expands to, maintained
+    /// incrementally (see [`Sequitur::occurrences`]): a non-root rule's
+    /// expansion length is fixed at creation (substitution and inline
+    /// expansion both preserve the expansion of the containing body),
+    /// and the root's grows by one per pushed token.
+    exp_len: usize,
 }
 
 /// Incremental Sequitur grammar builder.
@@ -168,8 +174,18 @@ impl Sequitur {
             guard,
             occ_head: NIL,
             uses: 0,
+            exp_len: 0,
         });
         rule
+    }
+
+    /// Terminal expansion length of one symbol.
+    #[inline]
+    fn sym_exp_len(&self, s: Sym) -> usize {
+        match s {
+            Sym::T(_) => 1,
+            Sym::R(r) => self.rules[r as usize].exp_len,
+        }
     }
 
     /// Creates an occurrence node for `sym`, registering rule usage.
@@ -299,6 +315,7 @@ impl Sequitur {
     /// Appends one terminal token and restores the grammar constraints.
     pub fn push(&mut self, token: u32) {
         self.token_count += 1;
+        self.rules[0].exp_len += 1;
         let guard = self.rules[0].guard;
         let last = self.prev(guard);
         let n = self.make_sym_node(Sym::T(token));
@@ -352,6 +369,7 @@ impl Sequitur {
             let s1 = self.sym(ss).expect("digram member is a symbol");
             let s2 = self.sym(self.next(ss)).expect("digram member is a symbol");
             r = self.new_rule();
+            self.rules[r as usize].exp_len = self.sym_exp_len(s1) + self.sym_exp_len(s2);
             let guard = self.rules[r as usize].guard;
             let c1 = self.make_sym_node(s1);
             self.insert_after(guard, c1);
@@ -428,10 +446,60 @@ impl Sequitur {
     // Extraction
     // ------------------------------------------------------------------
 
-    /// Finalizes induction and converts the internal state into an
-    /// immutable [`Grammar`] with densely renumbered rules (dead rules
-    /// dropped, `R0` first).
-    pub fn into_grammar(self) -> Grammar {
+    /// Enumerates every transitive occurrence of every live non-root
+    /// rule over the token sequence pushed so far — **without**
+    /// consuming or copying the grammar.
+    ///
+    /// This is the incremental-accounting entry point for streaming
+    /// density maintenance: after each batch of
+    /// [`push`](Sequitur::push)es, a caller can re-enumerate rule
+    /// coverage straight off the live slab, paying only the derivation
+    /// walk (`O(token count)`) instead of a full
+    /// [`into_grammar`](Sequitur::into_grammar) extraction (rule-body
+    /// materialization + dense renumbering). The walk uses the
+    /// incrementally maintained per-rule expansion lengths, so no
+    /// bottom-up recomputation happens either.
+    ///
+    /// The reported [`RuleOccurrence::rule`] ids are **engine** rule
+    /// ids (the root is 0 and never reported; dead rules leave gaps),
+    /// not the dense ids of an extracted [`Grammar`] — but the
+    /// `(start, len)` span multiset is identical to
+    /// [`Grammar::occurrences`] on the extracted grammar, which is the
+    /// part rule-density construction consumes (property-tested).
+    pub fn occurrences(&self) -> Vec<RuleOccurrence> {
+        let mut out = Vec::new();
+        let root_guard = self.rules[0].guard;
+        // Frames: (node to visit, guard of the body it belongs to,
+        // absolute token position of the node).
+        let mut stack: Vec<(u32, u32, usize)> = vec![(self.next(root_guard), root_guard, 0)];
+        while let Some((node, guard, at)) = stack.pop() {
+            if node == guard {
+                continue;
+            }
+            match self.sym(node).expect("rule bodies contain only symbols") {
+                Sym::T(_) => stack.push((self.next(node), guard, at + 1)),
+                Sym::R(q) => {
+                    let len = self.rules[q as usize].exp_len;
+                    debug_assert!(len >= 2, "non-root rule expands to >= 2 terminals");
+                    out.push(RuleOccurrence {
+                        rule: q,
+                        start: at,
+                        len,
+                    });
+                    stack.push((self.next(node), guard, at + len));
+                    let g = self.rules[q as usize].guard;
+                    debug_assert_ne!(g, NIL, "live body references a dead rule");
+                    stack.push((self.next(g), g, at));
+                }
+            }
+        }
+        out
+    }
+
+    /// Extracts an immutable [`Grammar`] snapshot (densely renumbered
+    /// rules, dead rules dropped, `R0` first) without consuming the
+    /// engine — induction can continue afterwards.
+    pub fn to_grammar(&self) -> Grammar {
         // Dense renumbering of live rules.
         let mut remap: Vec<u32> = vec![u32::MAX; self.rules.len()];
         let mut live = 0u32;
@@ -467,6 +535,13 @@ impl Sequitur {
             });
         }
         Grammar::finalize(rules, self.token_count)
+    }
+
+    /// Finalizes induction and converts the internal state into an
+    /// immutable [`Grammar`] with densely renumbered rules (dead rules
+    /// dropped, `R0` first).
+    pub fn into_grammar(self) -> Grammar {
+        self.to_grammar()
     }
 }
 
@@ -608,6 +683,88 @@ mod tests {
         for (i, r) in g.rules.iter().enumerate().skip(1) {
             assert!(r.body.len() >= 2, "rule {i} body {:?}", r.body);
         }
+    }
+
+    /// The live-slab occurrence walk must report the same `(start, len)`
+    /// span multiset as the extracted grammar's derivation walk — the
+    /// part rule-density construction consumes.
+    fn assert_live_occurrences_match_extracted(input: &[u32]) {
+        let mut s = Sequitur::new();
+        for &t in input {
+            s.push(t);
+        }
+        let mut live: Vec<(usize, usize)> =
+            s.occurrences().iter().map(|o| (o.start, o.len)).collect();
+        let g = s.to_grammar();
+        let mut extracted: Vec<(usize, usize)> =
+            g.occurrences().iter().map(|o| (o.start, o.len)).collect();
+        live.sort_unstable();
+        extracted.sort_unstable();
+        assert_eq!(live, extracted, "input {input:?}");
+    }
+
+    #[test]
+    fn live_occurrences_match_extracted_grammar() {
+        assert_live_occurrences_match_extracted(&[]);
+        assert_live_occurrences_match_extracted(&[7]);
+        assert_live_occurrences_match_extracted(&[0, 1, 0, 1]);
+        assert_live_occurrences_match_extracted(&[0, 1, 2, 3, 4, 0, 1, 2]);
+        assert_live_occurrences_match_extracted(&[5; 30]);
+        let nested: Vec<u32> = (0..200).map(|i| (i % 7) as u32).collect();
+        assert_live_occurrences_match_extracted(&nested);
+        let quadratic: Vec<u32> = (0..300).map(|i| ((i * i) % 11) as u32).collect();
+        assert_live_occurrences_match_extracted(&quadratic);
+    }
+
+    #[test]
+    fn incremental_expansion_lengths_match_finalized_grammar() {
+        // The engine's per-rule exp_len (maintained across pushes,
+        // substitutions, and inline expansions) must agree with the
+        // bottom-up recomputation Grammar::finalize performs.
+        let input: Vec<u32> = (0..250).map(|i| ((i * 13) % 9) as u32).collect();
+        let mut s = Sequitur::new();
+        for &t in &input {
+            s.push(t);
+        }
+        let g = s.to_grammar();
+        // Recover the engine→dense remap the same way to_grammar does.
+        let mut dense = 0usize;
+        for rec in s.rules.iter() {
+            if rec.guard != NIL {
+                assert_eq!(
+                    rec.exp_len, g.rules[dense].expansion_len,
+                    "dense rule {dense}"
+                );
+                dense += 1;
+            }
+        }
+        assert_eq!(dense, g.rule_count());
+        assert_eq!(s.rules[0].exp_len, input.len());
+    }
+
+    #[test]
+    fn to_grammar_snapshot_lets_induction_continue() {
+        let mut s = Sequitur::new();
+        for t in [0u32, 1, 0, 1] {
+            s.push(t);
+        }
+        let snap = s.to_grammar();
+        assert_eq!(snap.expand_root(), vec![0, 1, 0, 1]);
+        // Keep pushing after the snapshot; the final grammar covers
+        // everything, and matches a from-scratch induction.
+        for t in [2u32, 0, 1, 2] {
+            s.push(t);
+        }
+        let g = s.into_grammar();
+        assert_eq!(g.expand_root(), vec![0, 1, 0, 1, 2, 0, 1, 2]);
+        let fresh = induce([0u32, 1, 0, 1, 2, 0, 1, 2]);
+        assert_eq!(g, fresh);
+    }
+
+    #[test]
+    fn occurrences_on_empty_engine() {
+        let s = Sequitur::new();
+        assert!(s.occurrences().is_empty());
     }
 
     #[test]

@@ -5,11 +5,39 @@
 //! every rule used ≥ 2 times, every body ≥ 2 symbols. A third, soft
 //! property is monotone compression on repetitive inputs.
 
-use egi_sequitur::induce;
+use egi_sequitur::{induce, Sequitur};
 use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Incremental occurrence accounting (PR 4): the live-engine
+    /// enumeration over incrementally maintained expansion lengths
+    /// reports the same `(start, len)` span multiset as the extracted
+    /// grammar's derivation walk, for arbitrary token sequences —
+    /// the spans are exactly what rule-density construction consumes.
+    #[test]
+    fn live_occurrence_spans_match_extracted_grammar(
+        tokens in prop::collection::vec(0u32..5, 0..300),
+    ) {
+        let mut s = Sequitur::new();
+        for &t in &tokens {
+            s.push(t);
+        }
+        let mut live: Vec<(usize, usize)> =
+            s.occurrences().iter().map(|o| (o.start, o.len)).collect();
+        let g = s.to_grammar();
+        let mut extracted: Vec<(usize, usize)> =
+            g.occurrences().iter().map(|o| (o.start, o.len)).collect();
+        live.sort_unstable();
+        extracted.sort_unstable();
+        prop_assert_eq!(live, extracted);
+        // Every span expands to a real slice of the input.
+        for occ in g.occurrences() {
+            let expansion = g.expand_rule(occ.rule);
+            prop_assert_eq!(&tokens[occ.start..occ.start + occ.len], expansion.as_slice());
+        }
+    }
 
     /// Round trip over arbitrary token sequences, including long runs of
     /// identical tokens (small alphabet forces heavy rule churn).

@@ -9,6 +9,9 @@
 //!   the paper's Algorithm 2) enabling O(1) mean/stddev of any subsequence,
 //!   plus z-normalization utilities.
 //! * [`window`] — sliding-window subsequence extraction.
+//! * [`deadline`] — the shared [`Deadline`] stopping condition for the
+//!   workspace's budgeted streaming refresh loops (discord monitor,
+//!   streaming ensemble detector).
 //! * [`gen`] — synthetic data generators: random walks, periodic signals,
 //!   ECG/EEG-like traces, appliance power-usage cycles, and six UCR-style
 //!   dataset families used by the paper's evaluation (Section 7.1.1).
@@ -24,6 +27,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod corpus;
+pub mod deadline;
 pub mod gen;
 pub mod io;
 pub mod series;
@@ -31,6 +35,7 @@ pub mod stats;
 pub mod window;
 
 pub use corpus::{CorpusSpec, LabeledSeries};
+pub use deadline::Deadline;
 pub use series::TimeSeries;
 pub use stats::{mean, stddev, znormalize, znormalize_into, PrefixStats};
 pub use window::{sliding_windows, SlidingWindows};

@@ -25,7 +25,7 @@ use std::sync::Mutex;
 
 pub mod prelude {
     //! Glob-import surface mirroring `rayon::prelude`.
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
 }
 
 thread_local! {
@@ -227,6 +227,36 @@ impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
     fn par_iter(&'data self) -> ParIter<&'data T> {
         ParIter {
             items: self.iter().collect(),
+        }
+    }
+}
+
+/// By-mutable-reference conversion into a parallel iterator
+/// (mirrors `rayon::iter::IntoParallelRefMutIterator`).
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Item type produced (a mutable reference).
+    type Item: Send;
+
+    /// Parallel iterator over mutable references.
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = &'data mut T;
+
+    fn par_iter_mut(&'data mut self) -> ParIter<&'data mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = &'data mut T;
+
+    fn par_iter_mut(&'data mut self) -> ParIter<&'data mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
         }
     }
 }
