@@ -16,6 +16,11 @@
 //!   per-append refresh latency at several chunk sizes, streaming the
 //!   second half of the fixture (caught-up profile asserted
 //!   bit-identical to batch STAMP);
+//! * **Eviction** — `StreamingDiscordMonitor` in sliding-window steady
+//!   state: append a chunk, evict a chunk (live window pinned), refresh
+//!   — per-evict latency and sustained append+evict+refresh throughput
+//!   at several chunk sizes (finished profile asserted bit-identical to
+//!   batch STAMP over the surviving suffix);
 //! * **Streaming ensemble** — `StreamingEnsembleDetector`: append
 //!   throughput and per-append member-refresh latency at several chunk
 //!   sizes, streaming the second half of the fixture (finished report
@@ -367,6 +372,62 @@ fn main() {
         ));
     }
 
+    // Eviction: sliding-window steady state. Warm the monitor to
+    // `retain` points, then stream the rest of the fixture as
+    // append-chunk / evict-chunk / refresh cycles — the live window
+    // stays pinned at `retain`, so `evict_*` measures the front-
+    // truncation re-transform (the dominant eviction cost) at a fixed
+    // padded size, and `points_per_sec` is the sustained bounded-memory
+    // ingest rate. The finished profile is asserted bit-identical to
+    // batch STAMP over the surviving suffix (the PR 5 suffix-parity
+    // contract), so the CI perf smoke fails on any eviction/batch
+    // divergence.
+    let retain = series_len / 4;
+    let evict_reference = stamp_with_exclusion(&series[series_len - retain..], m, exclusion);
+    let mut eviction_rows = Vec::new();
+    for &chunk in &stream_chunks {
+        let mut monitor = StreamingDiscordMonitor::with_exclusion(m, exclusion);
+        monitor.append(&series[..retain]);
+        let (warm_secs, _) = seconds(|| monitor.run_for(usize::MAX));
+        let mut append_secs = 0.0f64;
+        let mut refresh_secs = 0.0f64;
+        let (mut evict_total, mut evict_max) = (0.0f64, 0.0f64);
+        let mut cycles = 0usize;
+        for part in series[retain..].chunks(chunk) {
+            let (a, ()) = seconds(|| monitor.append(part));
+            let (e, evicted) = seconds(|| monitor.evict(part.len()));
+            evicted.expect("steady-state eviction keeps at least one window");
+            let (f, _) = seconds(|| monitor.run_for(part.len()));
+            append_secs += a;
+            evict_total += e;
+            evict_max = evict_max.max(e);
+            refresh_secs += f;
+            cycles += 1;
+            assert_eq!(monitor.series_len(), retain, "live window must stay pinned");
+        }
+        let (evict_finish_secs, finished) = seconds(|| monitor.finish());
+        assert_eq!(
+            finished.profile, evict_reference.profile,
+            "eviction steady state (chunk {chunk}) deviates from suffix batch STAMP"
+        );
+        assert_eq!(finished.index, evict_reference.index);
+        assert_eq!(monitor.stream_offset(), series_len - retain);
+        let streamed = series_len - retain;
+        let points_per_sec = streamed as f64 / (append_secs + evict_total + refresh_secs);
+        let evict_mean = evict_total / cycles as f64;
+        eprintln!(
+            "EVICT  chunk {chunk:>4}: {cycles} cycles at window {retain}, \
+             evict mean {evict_mean:.4}s / max {evict_max:.4}s, \
+             {points_per_sec:.0} pts/s sustained, catch-up {evict_finish_secs:.3}s"
+        );
+        eviction_rows.push(format!(
+            "    {{ \"chunk\": {chunk}, \"cycles\": {cycles}, \"warmup_secs\": {warm_secs:.6}, \
+             \"append_secs\": {append_secs:.6}, \"evict_mean_secs\": {evict_mean:.6}, \
+             \"evict_max_secs\": {evict_max:.6}, \"refresh_secs\": {refresh_secs:.6}, \
+             \"points_per_sec\": {points_per_sec:.1}, \"catchup_secs\": {evict_finish_secs:.6} }}"
+        ));
+    }
+
     // Streaming ensemble: append throughput and per-append refresh
     // latency of StreamingEnsembleDetector at several chunk sizes,
     // streaming the second half of the fixture. Each run's finished
@@ -459,6 +520,8 @@ fn main() {
          \"parallel_stamp\": {{\n    \"series_len\": {series_len},\n    \"m\": {m},\n    \"runs\": [\n{pstamp_rows}\n    ]\n  }},\n  \
          \"streaming\": {{\n    \"series_len\": {series_len},\n    \"m\": {m},\n    \
          \"warmup_points\": {warm},\n    \"runs\": [\n{streaming_rows}\n    ]\n  }},\n  \
+         \"eviction\": {{\n    \"series_len\": {series_len},\n    \"m\": {m},\n    \
+         \"retain\": {retain},\n    \"runs\": [\n{eviction_rows}\n    ]\n  }},\n  \
          \"ensemble_streaming\": {{\n    \"series_len\": {series_len},\n    \"window\": {es_window},\n    \
          \"members\": {es_members},\n    \"seed\": {es_seed},\n    \"warmup_points\": {warm},\n    \
          \"runs\": [\n{es_rows}\n    ]\n  }},\n  \
@@ -474,6 +537,7 @@ fn main() {
         anytime_rows = anytime_rows.join(",\n"),
         pstamp_rows = pstamp_rows.join(",\n"),
         streaming_rows = streaming_rows.join(",\n"),
+        eviction_rows = eviction_rows.join(",\n"),
         es_rows = es_rows.join(",\n"),
     );
     std::fs::write(&out_path, json).expect("write bench json");

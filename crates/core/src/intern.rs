@@ -53,6 +53,14 @@ impl OnlineInterner {
         id
     }
 
+    /// Forgets every assignment, reusing the table allocation — the
+    /// eviction-replay reset of the streaming detector. Ids are
+    /// first-seen-order, so a replay over a token suffix must restart
+    /// the numbering to land on the ids a fresh batch run would assign.
+    pub fn clear(&mut self) {
+        self.table.clear();
+    }
+
     /// Number of distinct words seen.
     pub fn len(&self) -> usize {
         self.table.len()

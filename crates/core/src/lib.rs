@@ -71,3 +71,9 @@ pub use multiwindow::{MultiWindowConfig, MultiWindowEnsemble};
 pub use select::select_parameters;
 pub use single::{GiConfig, SingleGiDetector};
 pub use streaming::StreamingEnsembleDetector;
+
+/// The shared eviction error of both streaming subsystems, re-exported
+/// from [`egi_tskit::evict`] for callers of
+/// [`StreamingEnsembleDetector::evict`] /
+/// [`StreamingEnsembleDetector::retain_last`].
+pub use egi_tskit::EvictError;

@@ -63,6 +63,55 @@
 //! ([`StreamingEnsembleDetector::is_current`]), the snapshot *is* the
 //! batch ensemble curve, bit for bit.
 //!
+//! # Sliding-window eviction
+//!
+//! [`StreamingEnsembleDetector::evict`] retires the oldest points, and
+//! [`StreamingEnsembleDetector::retain_last`] installs a retention
+//! policy that trims automatically after every append — the
+//! bounded-memory mode for unbounded streams. The parity contract
+//! extends one level up: **after any interleaving of appends and
+//! evictions, [`finish`](StreamingEnsembleDetector::finish) is
+//! bit-identical to batch [`EnsembleDetector::detect`] over the
+//! surviving suffix** (property-tested). Reported indices are local to
+//! the live window; the global position of local index `i` is
+//! [`stream_offset`](StreamingEnsembleDetector::stream_offset)` + i`.
+//!
+//! ## Eviction cost model (why eviction is a replay)
+//!
+//! Appends are exactly incremental here because nothing old is ever
+//! recomputed. Eviction breaks both halves of that argument:
+//!
+//! * **Numerically**, a window's z-normalization reads prefix-sum
+//!   *differences*, and after the front truncation the sums
+//!   re-accumulate from a new origin
+//!   ([`PrefixStats::rebase`](egi_tskit::stats::PrefixStats::rebase)),
+//!   so surviving windows can re-discretize to different SAX words near
+//!   breakpoint boundaries. The shared PAA streams are therefore
+//!   rebuilt from the rebased statistics at evict time
+//!   ([`PaaStream::evict_front`], `O(remaining · w)` per distinct `w`).
+//! * **Structurally**, Sequitur is order-dependent: the grammar of the
+//!   token suffix is not a sub-grammar of the full-history grammar
+//!   (rules whose occurrences lay in or straddled the retired region
+//!   cease to exist; suffix-only rules may appear). Each member is
+//!   therefore reset ([`NumerosityReduced::clear`],
+//!   [`OnlineInterner::clear`](crate::intern::OnlineInterner::clear),
+//!   [`Sequitur::clear`] — allocation-reusing) and **replays** the
+//!   surviving windows through the normal refresh path, so the replay
+//!   cost (`O(remaining)` per member) is paid in
+//!   [`step`](StreamingEnsembleDetector::step) units under the usual
+//!   deadline budgets, not inside `evict` itself.
+//!
+//! As with the discord monitor's re-transform, **callers should batch
+//! evictions**: per eviction of `c` points the total work is
+//! `O(remaining)`-shaped, i.e. `O(remaining / c)` per retired point.
+//! Until a member's replay completes, [`snapshot`](StreamingEnsembleDetector::snapshot)
+//! serves its pre-eviction curve shifted into suffix coordinates — the
+//! structural carry-over again, healed by the next refresh. For
+//! long-running services,
+//! [`compact`](StreamingEnsembleDetector::compact) additionally
+//! defragments each member's grammar slab
+//! ([`Sequitur::compact`]) without observable effect on any result.
+//!
 //! # Parity and budget contract
 //!
 //! * [`StreamingEnsembleDetector::finish`] returns an [`AnomalyReport`]
@@ -89,6 +138,7 @@ use std::time::Duration;
 use egi_sax::stream::PaaStream;
 use egi_sax::{MultiResBreakpoints, NumerosityReduced, SaxConfig, SaxWord};
 use egi_sequitur::Sequitur;
+use egi_tskit::evict::{validate_evict, EvictError};
 use egi_tskit::stats::PrefixStats;
 use egi_tskit::window::window_count;
 use egi_tskit::Deadline;
@@ -200,8 +250,15 @@ pub struct StreamingEnsembleDetector {
     members: Vec<MemberState>,
     /// Members awaiting a refresh, FIFO in member order.
     stale: VecDeque<usize>,
-    /// Appends ingested so far.
+    /// Ingest events (appends and evictions) so far.
     epoch: u64,
+    /// Points retired from the front of the stream so far; the global
+    /// position of local index `i` is `offset + i`.
+    offset: usize,
+    /// Retention policy installed by
+    /// [`StreamingEnsembleDetector::retain_last`]: after every append
+    /// the live window is trimmed to at most this many points.
+    retention: Option<usize>,
 }
 
 impl StreamingEnsembleDetector {
@@ -248,6 +305,8 @@ impl StreamingEnsembleDetector {
             members,
             stale: VecDeque::new(),
             epoch: 0,
+            offset: 0,
+            retention: None,
         }
     }
 
@@ -287,9 +346,42 @@ impl StreamingEnsembleDetector {
         self.stale.len()
     }
 
-    /// Appends ingested so far.
+    /// Ingest events (appends and evictions) so far.
     pub fn epochs(&self) -> u64 {
         self.epoch
+    }
+
+    /// Points retired from the front of the stream so far. Every index
+    /// the detector reports (anomaly starts, curve positions) is local
+    /// to the live window; its global stream position is
+    /// `stream_offset() + index`.
+    pub fn stream_offset(&self) -> usize {
+        self.offset
+    }
+
+    /// The retention policy installed by
+    /// [`StreamingEnsembleDetector::retain_last`], if any.
+    pub fn retention(&self) -> Option<usize> {
+        self.retention
+    }
+
+    /// Total capacity (in `f64`s) retained by the shared PAA coefficient
+    /// streams — cheap accessor for memory-bound assertions on eviction
+    /// workloads.
+    pub fn paa_capacity(&self) -> usize {
+        self.streams.iter().map(PaaStream::capacity).sum()
+    }
+
+    /// Total grammar-slab slots allocated across members (live nodes
+    /// plus free-list holes) — cheap accessor for memory-bound
+    /// assertions; see [`Sequitur::slab_len`].
+    pub fn slab_len(&self) -> usize {
+        self.members.iter().map(|m| m.seq.slab_len()).sum()
+    }
+
+    /// Capacity (in `f64`s) retained by the live series buffer.
+    pub fn series_capacity(&self) -> usize {
+        self.series.capacity()
     }
 
     /// `true` once every member's curve covers the current series —
@@ -327,6 +419,145 @@ impl StreamingEnsembleDetector {
         self.stats.extend(points);
         self.stale.clear();
         self.stale.extend(0..self.members.len());
+        if let Some(n) = self.retention {
+            let excess = self.series.len().saturating_sub(n);
+            if excess > 0 {
+                self.evict(excess)
+                    .expect("retention >= window leaves a viable suffix");
+            }
+        }
+    }
+
+    /// Retires the oldest `count` points from the live window. After
+    /// the eviction the detector behaves — bit for bit, for every
+    /// future operation — like a fresh detector that ingested only the
+    /// surviving suffix (plus the [`stream_offset`] bookkeeping), so
+    /// [`finish`](Self::finish) lands on batch
+    /// [`EnsembleDetector::detect`] over that suffix.
+    ///
+    /// The immediate cost is the statistics rebase and shared PAA
+    /// stream rebuild (`O(remaining)`-shaped); each member's grammar
+    /// replay over the suffix is deferred to
+    /// [`step`](Self::step)/[`run_until`](Self::run_until) like any
+    /// other refresh, and until it runs,
+    /// [`snapshot`](Self::snapshot) serves the member's pre-eviction
+    /// curve shifted into suffix coordinates (see the
+    /// [module docs](self) for why eviction cannot be incremental).
+    ///
+    /// # Errors
+    ///
+    /// Rejected atomically (state untouched) when `count` exceeds the
+    /// live point count ([`EvictError::PastEnd`]) or a non-empty suffix
+    /// shorter than the analysis `window` would survive
+    /// ([`EvictError::BelowMinimum`]). Evicting *everything* is
+    /// allowed: the stream resets (offset preserved).
+    ///
+    /// [`stream_offset`]: Self::stream_offset
+    pub fn evict(&mut self, count: usize) -> Result<(), EvictError> {
+        validate_evict(self.series.len(), count, self.config().window)?;
+        if count == 0 {
+            return Ok(());
+        }
+        self.epoch += 1;
+        self.offset += count;
+        self.series.drain(..count);
+        self.stats.rebase(&self.series);
+        for stream in &mut self.streams {
+            stream.evict_front(count, &self.stats);
+        }
+        let windowless = window_count(self.series.len(), self.config().window) == 0;
+        for member in &mut self.members {
+            member.consumed = 0;
+            member.nr.clear();
+            member.interner.clear();
+            member.seq.clear();
+            if windowless {
+                // No window fits the suffix (under the boundary rule
+                // this is the full drain): the exact batch curve is
+                // all zeros, so materialize it now rather than letting
+                // a stale carry of coincidentally-right length pass
+                // the parallel catch-up's currency check.
+                member.curve.values.clear();
+                member.curve.values.resize(self.series.len(), 0.0);
+            } else {
+                // Structural carry for live snapshots: the cached
+                // curve, shifted into suffix coordinates (exact for
+                // the member's pre-eviction view, replaced wholesale
+                // by its replay).
+                let drop = count.min(member.curve.values.len());
+                member.curve.values.drain(..drop);
+            }
+        }
+        self.stale.clear();
+        self.stale.extend(0..self.members.len());
+        Ok(())
+    }
+
+    /// Installs a sliding-window retention policy and trims the live
+    /// window to at most `n` points now and after every future append —
+    /// the bounded-memory mode for unbounded streams. Returns how many
+    /// points the immediate trim retired.
+    ///
+    /// # Errors
+    ///
+    /// [`EvictError::BelowMinimum`] when `n` is smaller than the
+    /// analysis `window` (the policy could never keep a viable window);
+    /// the state is untouched.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use egi_core::streaming::StreamingEnsembleDetector;
+    /// use egi_core::{EnsembleConfig, EnsembleDetector};
+    ///
+    /// let series: Vec<f64> = (0..700)
+    ///     .map(|i| (i as f64 * 0.21).sin() + ((i * 11) % 5) as f64 * 0.04)
+    ///     .collect();
+    /// let config = EnsembleConfig {
+    ///     window: 32,
+    ///     ensemble_size: 6,
+    ///     ..EnsembleConfig::default()
+    /// };
+    /// let mut detector = StreamingEnsembleDetector::new(config, 7);
+    /// detector.retain_last(300).unwrap();
+    /// for chunk in series.chunks(100) {
+    ///     detector.append(chunk); // auto-trims to the last 300 points
+    /// }
+    /// assert_eq!(detector.series_len(), 300);
+    /// assert_eq!(detector.stream_offset(), 400);
+    ///
+    /// // The finished report is bit-identical to the batch detector
+    /// // over the surviving suffix.
+    /// let report = detector.finish(2);
+    /// let batch = EnsembleDetector::new(config).detect(&series[400..], 2, 7);
+    /// assert_eq!(report, batch);
+    /// ```
+    pub fn retain_last(&mut self, n: usize) -> Result<usize, EvictError> {
+        let window = self.config().window;
+        if n < window {
+            return Err(EvictError::BelowMinimum {
+                remaining: n,
+                minimum: window,
+            });
+        }
+        self.retention = Some(n);
+        let excess = self.series.len().saturating_sub(n);
+        if excess > 0 {
+            self.evict(excess)?;
+        }
+        Ok(excess)
+    }
+
+    /// Defragments every member's grammar slab
+    /// ([`Sequitur::compact`]), reclaiming free-list holes and
+    /// tombstoned rule records left by rule churn on long streams.
+    /// Observationally invisible: snapshots, future refreshes, and
+    /// [`finish`](Self::finish) are bit-identical with or without
+    /// compaction (property-tested).
+    pub fn compact(&mut self) {
+        for member in &mut self.members {
+            member.seq.compact();
+        }
     }
 
     /// Refreshes the next stale member (one unit of work): advances the
@@ -669,5 +900,204 @@ mod tests {
     fn non_finite_append_rejected() {
         let mut streaming = StreamingEnsembleDetector::new(config(8, 4), 0);
         streaming.append(&[1.0, f64::NAN]);
+    }
+
+    // ------------------------------------------------------------------
+    // Sliding-window eviction: boundary regressions. The property
+    // harness in tests/eviction_proptests.rs covers random schedules;
+    // these pin the exact edges of the contract.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn evict_then_finish_matches_batch_over_suffix() {
+        let series = test_series(360);
+        let cfg = config(24, 7);
+        for cut in [1usize, 60, 200] {
+            let mut streaming = StreamingEnsembleDetector::new(cfg, 9);
+            for part in series.chunks(45) {
+                streaming.append(part);
+                streaming.run_for(2);
+            }
+            streaming.evict(cut).unwrap();
+            assert_eq!(streaming.stream_offset(), cut);
+            let report = streaming.finish(3);
+            let batch = EnsembleDetector::new(cfg).detect(&series[cut..], 3, 9);
+            assert_eq!(report, batch, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn evict_to_exactly_window_points_leaves_one_window() {
+        let series = test_series(200);
+        let cfg = config(20, 6);
+        let mut streaming = StreamingEnsembleDetector::new(cfg, 4);
+        streaming.append(&series);
+        streaming.evict(series.len() - 20).unwrap();
+        assert_eq!(streaming.series_len(), 20);
+        assert_eq!(streaming.window_count(), 1);
+        let report = streaming.finish(2);
+        let batch = EnsembleDetector::new(cfg).detect(&series[180..], 2, 4);
+        assert_eq!(report, batch);
+    }
+
+    #[test]
+    fn evict_below_minimum_errors_without_state_change() {
+        let series = test_series(100);
+        let cfg = config(16, 5);
+        let mut streaming = StreamingEnsembleDetector::new(cfg, 2);
+        streaming.append(&series);
+        streaming.run_for(usize::MAX);
+        let before = streaming.snapshot();
+        assert_eq!(
+            streaming.evict(90),
+            Err(EvictError::BelowMinimum {
+                remaining: 10,
+                minimum: 16
+            })
+        );
+        assert_eq!(
+            streaming.evict(101),
+            Err(EvictError::PastEnd {
+                requested: 101,
+                available: 100
+            })
+        );
+        assert_eq!(streaming.series_len(), 100);
+        assert_eq!(streaming.stream_offset(), 0);
+        assert!(streaming.is_current());
+        assert_eq!(streaming.snapshot(), before);
+    }
+
+    #[test]
+    fn evict_everything_then_append_restarts_cleanly() {
+        let series = test_series(300);
+        let cfg = config(18, 6);
+        let mut streaming = StreamingEnsembleDetector::new(cfg, 3);
+        streaming.append(&series[..160]);
+        streaming.run_for(3);
+        streaming.evict(160).unwrap();
+        assert_eq!(streaming.series_len(), 0);
+        assert_eq!(streaming.window_count(), 0);
+        assert_eq!(streaming.stream_offset(), 160);
+        assert!(streaming.snapshot().is_empty());
+        streaming.append(&series[160..]);
+        let report = streaming.finish(2);
+        let batch = EnsembleDetector::new(cfg).detect(&series[160..], 2, 3);
+        assert_eq!(report, batch);
+        assert_eq!(streaming.stream_offset(), 160);
+    }
+
+    #[test]
+    fn full_drain_parallel_finish_serves_empty_report_exactly() {
+        // The only valid windowless suffix is the empty one (the
+        // boundary rule rejects 0 < suffix < window); both the serial
+        // and the parallel finish must serve the empty batch report
+        // even though members were current before the drain.
+        let series = test_series(150);
+        for parallel in [false, true] {
+            let cfg = EnsembleConfig {
+                parallel,
+                ..config(30, 5)
+            };
+            let mut streaming = StreamingEnsembleDetector::new(cfg, 6);
+            streaming.append(&series);
+            streaming.run_for(usize::MAX);
+            assert_eq!(
+                streaming.evict(140),
+                Err(EvictError::BelowMinimum {
+                    remaining: 10,
+                    minimum: 30
+                })
+            );
+            streaming.evict(150).unwrap();
+            assert_eq!(streaming.window_count(), 0);
+            let report = streaming.finish(2);
+            let batch = EnsembleDetector::new(cfg).detect(&[], 2, 6);
+            assert_eq!(report, batch, "parallel {parallel}");
+            assert!(report.curve.is_empty());
+        }
+    }
+
+    #[test]
+    fn one_point_evictions_mirror_one_point_appends() {
+        let series = test_series(160);
+        let cfg = config(14, 5);
+        let mut streaming = StreamingEnsembleDetector::new(cfg, 8);
+        streaming.append(&series);
+        for step in 1..=30usize {
+            streaming.evict(1).unwrap();
+            assert_eq!(streaming.stream_offset(), step);
+            streaming.run_for(1);
+        }
+        let report = streaming.finish(2);
+        let batch = EnsembleDetector::new(cfg).detect(&series[30..], 2, 8);
+        assert_eq!(report, batch);
+    }
+
+    #[test]
+    fn retain_last_policy_trims_on_every_append() {
+        let series = test_series(500);
+        let cfg = config(22, 6);
+        assert_eq!(
+            StreamingEnsembleDetector::new(cfg, 5).retain_last(21),
+            Err(EvictError::BelowMinimum {
+                remaining: 21,
+                minimum: 22
+            })
+        );
+        let mut streaming = StreamingEnsembleDetector::new(cfg, 5);
+        assert_eq!(streaming.retain_last(150), Ok(0));
+        assert_eq!(streaming.retention(), Some(150));
+        for part in series.chunks(40) {
+            streaming.append(part);
+            assert!(streaming.series_len() <= 150);
+            streaming.run_for(3);
+        }
+        assert_eq!(streaming.series_len(), 150);
+        assert_eq!(streaming.stream_offset(), 350);
+        let report = streaming.finish(2);
+        let batch = EnsembleDetector::new(cfg).detect(&series[350..], 2, 5);
+        assert_eq!(report, batch);
+    }
+
+    #[test]
+    fn snapshot_after_evict_serves_shifted_carry_inside_live_window() {
+        let series = test_series(260);
+        let cfg = config(20, 5);
+        let mut streaming = StreamingEnsembleDetector::new(cfg, 11);
+        streaming.append(&series);
+        streaming.run_for(usize::MAX);
+        streaming.evict(60).unwrap();
+        // Before any replay, the snapshot serves the pre-eviction
+        // curves shifted into suffix coordinates — right length, and
+        // every reported candidate inside the live window.
+        let snap = streaming.snapshot();
+        assert_eq!(snap.len(), 200);
+        for c in streaming.anomalies(3) {
+            assert!(c.start + c.len <= 200, "candidate escaped the window");
+        }
+        // Replay restores batch exactness.
+        let report = streaming.finish(3);
+        let batch = EnsembleDetector::new(cfg).detect(&series[60..], 3, 11);
+        assert_eq!(report, batch);
+    }
+
+    #[test]
+    fn compact_is_observationally_invisible() {
+        let series = test_series(320);
+        let cfg = config(16, 7);
+        let batch = EnsembleDetector::new(cfg).detect(&series[40..], 2, 13);
+        let mut streaming = StreamingEnsembleDetector::new(cfg, 13);
+        for (i, part) in series.chunks(64).enumerate() {
+            streaming.append(part);
+            streaming.run_for(3);
+            if i % 2 == 0 {
+                streaming.compact();
+            }
+        }
+        streaming.evict(40).unwrap();
+        streaming.run_for(2);
+        streaming.compact();
+        assert_eq!(streaming.finish(2), batch);
     }
 }

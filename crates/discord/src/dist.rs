@@ -74,6 +74,29 @@ impl WindowStats {
         self.push_windows(prefix);
     }
 
+    /// Recomputes every window's statistics from the **rebased** prefix
+    /// sums of a front-evicted series (see
+    /// [`PrefixStats::rebase`](egi_tskit::stats::PrefixStats::rebase)),
+    /// reusing the existing allocations.
+    ///
+    /// Surviving windows cover the same raw points as before the
+    /// eviction, but their mean/variance are derived from prefix-sum
+    /// *differences*, and the rebased sums accumulate from a different
+    /// origin — so the stored values are not bitwise reusable and the
+    /// whole table is recomputed (`O(window count)`). The result is
+    /// **bit-identical** to [`WindowStats::new`] over the suffix, which
+    /// is what the eviction paths' suffix-parity contract needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix` covers fewer points than one window.
+    pub fn rebase_from_prefix(&mut self, prefix: &PrefixStats) {
+        assert!(self.m <= prefix.len(), "window longer than series");
+        self.mu.clear();
+        self.sigma.clear();
+        self.push_windows(prefix);
+    }
+
     /// Pushes stats for windows `self.count()..window_count(prefix)`.
     fn push_windows(&mut self, prefix: &PrefixStats) {
         let m = self.m;
@@ -218,6 +241,33 @@ mod tests {
     #[should_panic(expected = "window longer")]
     fn oversized_window_panics() {
         WindowStats::new(&[1.0, 2.0], 3);
+    }
+
+    #[test]
+    fn rebase_from_prefix_is_bit_identical_to_fresh_suffix_build() {
+        let full: Vec<f64> = (0..120)
+            .map(|i| (i as f64 * 0.53).sin() * 3.0 + ((i * 11) % 9) as f64 * 0.07)
+            .collect();
+        let m = 8;
+        for cut in [0usize, 1, 40, 112] {
+            let mut prefix = PrefixStats::new(&full);
+            let mut stats = WindowStats::from_prefix(&prefix, m);
+            prefix.rebase(&full[cut..]);
+            stats.rebase_from_prefix(&prefix);
+            let fresh = WindowStats::new(&full[cut..], m);
+            assert_eq!(stats.mu, fresh.mu, "cut {cut}");
+            assert_eq!(stats.sigma, fresh.sigma, "cut {cut}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window longer")]
+    fn rebase_below_one_window_panics() {
+        let full = vec![0.5; 20];
+        let mut prefix = PrefixStats::new(&full);
+        let mut stats = WindowStats::from_prefix(&prefix, 6);
+        prefix.rebase(&full[16..]);
+        stats.rebase_from_prefix(&prefix);
     }
 
     #[test]

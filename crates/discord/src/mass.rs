@@ -232,6 +232,78 @@ impl MassPrecomputed {
             .forward_into(padded, &mut self.series_spec, fft_scratch);
     }
 
+    /// Retires the oldest `count` points and refreshes every cached
+    /// structure in place, leaving the value **bit-identical** to a
+    /// fresh [`MassPrecomputed::new`] over the surviving suffix (pinned
+    /// by unit and property tests) — the substrate of the streaming
+    /// monitor's sliding-window eviction.
+    ///
+    /// # Cost model (why eviction is a clean re-transform)
+    ///
+    /// An FFT's rounding depends on its transform length *and* on the
+    /// buffer contents from index 0, so no part of the cached spectrum
+    /// survives a front truncation — unlike
+    /// [`append`](MassPrecomputed::append), which at a fixed padded
+    /// size only rewrites the tail. Likewise the prefix-sum window
+    /// statistics accumulate from the series origin, so they are
+    /// re-accumulated from the suffix
+    /// ([`PrefixStats::rebase`](egi_tskit::stats::PrefixStats::rebase) +
+    /// [`WindowStats::rebase_from_prefix`](crate::dist::WindowStats::rebase_from_prefix)).
+    /// Per eviction of `c` points from a series of `N` the cost is
+    /// therefore `O(N − c)` re-accumulation plus one `O(S log S)`
+    /// forward transform at the (possibly shrunken) padded size `S` —
+    /// i.e. `O((S log S)/c)` per retired point, the exact mirror of the
+    /// append amortization: **callers should batch evictions into
+    /// chunks**, just as they batch appends. Buffer allocations are
+    /// reused, so a steady append-evict loop with retention `n` keeps
+    /// every buffer at `O(n + chunk)` capacity (see
+    /// [`padded_capacity`](MassPrecomputed::padded_capacity)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `m` points would survive — callers (the
+    /// streaming monitor) enforce the non-panicking
+    /// [`EvictError`](egi_tskit::EvictError) contract *before* touching
+    /// this layer.
+    pub fn evict_front(&mut self, count: usize) {
+        if count == 0 {
+            return;
+        }
+        assert!(
+            count <= self.series.len() && self.series.len() - count >= self.m,
+            "eviction of {count} points would leave fewer than m = {} of {}",
+            self.m,
+            self.series.len()
+        );
+        self.series.drain(..count);
+        // Rebase the incremental statistics (materialized on first use,
+        // exactly as in `append`, so later appends stay on the bitwise
+        // batch path).
+        let (prefix, padded, fft_scratch) = match &mut self.append_state {
+            Some((prefix, padded, fft_scratch)) => {
+                prefix.rebase(&self.series);
+                (prefix, padded, fft_scratch)
+            }
+            None => {
+                let (prefix, padded, fft_scratch) = self.append_state.insert((
+                    PrefixStats::new(&self.series),
+                    Vec::new(),
+                    Vec::new(),
+                ));
+                (prefix, padded, fft_scratch)
+            }
+        };
+        self.stats.rebase_from_prefix(prefix);
+        let size = next_pow2(self.series.len()).max(2);
+        self.size = size;
+        self.plan = cached_real_plan(size);
+        padded.clear();
+        padded.resize(size, 0.0);
+        padded[..self.series.len()].copy_from_slice(&self.series);
+        self.plan
+            .forward_into(padded, &mut self.series_spec, fft_scratch);
+    }
+
     /// Window length `m`.
     pub fn m(&self) -> usize {
         self.m
@@ -240,6 +312,28 @@ impl MassPrecomputed {
     /// Number of sliding windows (profile length).
     pub fn window_count(&self) -> usize {
         self.stats.count()
+    }
+
+    /// Current padded transform size `S` (a power of two ≥ the series
+    /// length). Shrinks on eviction and grows on append; the per-query
+    /// and per-append/evict costs scale with it.
+    pub fn padded_size(&self) -> usize {
+        self.size
+    }
+
+    /// Capacity (in `f64`s) retained by the series buffer — cheap
+    /// accessor for memory-bound assertions on eviction workloads.
+    pub fn series_capacity(&self) -> usize {
+        self.series.capacity()
+    }
+
+    /// Capacity (in `f64`s) retained by the append/evict-path padded
+    /// buffer (0 until the first append or eviction materializes it) —
+    /// cheap accessor for memory-bound assertions.
+    pub fn padded_capacity(&self) -> usize {
+        self.append_state
+            .as_ref()
+            .map_or(0, |(_, padded, _)| padded.capacity())
     }
 
     /// The cached per-window statistics.
@@ -462,6 +556,81 @@ mod tests {
                 assert_eq!(a, b, "split {split} q {q}");
             }
         }
+    }
+
+    /// The eviction path must leave the struct bit-identical to a fresh
+    /// construction over the surviving suffix: same spectrum, same
+    /// stats, same distance profiles — the foundation of the streaming
+    /// monitor's suffix-parity contract.
+    #[test]
+    fn evict_front_is_bit_identical_to_fresh_suffix_build() {
+        let full: Vec<f64> = (0..300)
+            .map(|i| (i as f64 * 0.21).sin() * 1.8 + ((i * 11) % 6) as f64 * 0.15)
+            .collect();
+        let m = 10;
+        // Cuts exercise pow2 shrink (next_pow2(300)=512 → 256/128) and
+        // the same-size path, down to the single-window boundary.
+        for cut in [1usize, 37, 44, 172, 300 - m] {
+            let mut inc = MassPrecomputed::new(&full, m);
+            inc.evict_front(cut);
+            let fresh = MassPrecomputed::new(&full[cut..], m);
+            assert_eq!(inc.series(), fresh.series(), "cut {cut}");
+            assert_eq!(inc.series_spec, fresh.series_spec, "cut {cut}");
+            assert_eq!(inc.stats.mu, fresh.stats.mu, "cut {cut}");
+            assert_eq!(inc.stats.sigma, fresh.stats.sigma, "cut {cut}");
+            assert_eq!(inc.size, fresh.size, "cut {cut}");
+            assert_eq!(inc.window_count(), fresh.window_count());
+            let mut scratch = MassScratch::default();
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            for q in [0, inc.window_count() / 2, inc.window_count() - 1] {
+                inc.distance_profile_into(q, &mut scratch, &mut a);
+                fresh.distance_profile_into(q, &mut scratch, &mut b);
+                assert_eq!(a, b, "cut {cut} q {q}");
+            }
+        }
+    }
+
+    /// Interleaved appends and evictions must stay on the bitwise batch
+    /// path over whatever suffix survives.
+    #[test]
+    fn evict_then_append_matches_fresh_build_over_suffix() {
+        let full: Vec<f64> = (0..260)
+            .map(|i| (i as f64 * 0.33).cos() * 2.2 + (i % 7) as f64 * 0.09)
+            .collect();
+        let m = 9;
+        let mut inc = MassPrecomputed::new(&full[..140], m);
+        inc.evict_front(60); // suffix = full[60..140]
+        for chunk in full[140..].chunks(31) {
+            inc.append(chunk);
+        }
+        inc.evict_front(25); // suffix = full[85..]
+        let fresh = MassPrecomputed::new(&full[85..], m);
+        assert_eq!(inc.series(), fresh.series());
+        assert_eq!(inc.series_spec, fresh.series_spec);
+        assert_eq!(inc.stats.mu, fresh.stats.mu);
+        assert_eq!(inc.stats.sigma, fresh.stats.sigma);
+        for q in [0usize, 50, inc.window_count() - 1] {
+            assert_eq!(inc.distance_profile(q), fresh.distance_profile(q), "q {q}");
+        }
+    }
+
+    #[test]
+    fn evict_zero_is_a_no_op() {
+        let series: Vec<f64> = (0..50).map(|i| (i as f64 * 0.4).sin()).collect();
+        let mut inc = MassPrecomputed::new(&series, 6);
+        let spec_before = inc.series_spec.clone();
+        inc.evict_front(0);
+        assert_eq!(inc.series_spec, spec_before);
+        assert_eq!(inc.window_count(), 45);
+        assert_eq!(inc.padded_capacity(), 0, "no append state materialized");
+    }
+
+    #[test]
+    #[should_panic(expected = "would leave fewer than m")]
+    fn evict_below_one_window_panics() {
+        let series: Vec<f64> = (0..40).map(|i| i as f64 * 0.1).collect();
+        let mut inc = MassPrecomputed::new(&series, 8);
+        inc.evict_front(35);
     }
 
     #[test]

@@ -54,6 +54,41 @@
 //! monitoring is concerned; the re-runs exist solely to restore
 //! bit-exactness once the monitor catches up.
 //!
+//! # Sliding-window eviction
+//!
+//! [`StreamingDiscordMonitor::evict`] retires the oldest points, and
+//! [`StreamingDiscordMonitor::retain_last`] installs a retention policy
+//! that trims automatically after every append — together they bound
+//! the monitor's memory for indefinitely-running streams. The contract
+//! mirrors the append side one level up: **after any interleaving of
+//! appends and evictions, [`finish`](StreamingDiscordMonitor::finish)
+//! is bit-identical to a fresh batch [`stamp()`](crate::stamp::stamp)
+//! over the surviving suffix** (property-tested). All indices are
+//! *local to the live window*; the global position of local index `i`
+//! is `stream_offset() + i` via
+//! [`StreamingDiscordMonitor::stream_offset`].
+//!
+//! ## Eviction cost model (and why evidence is discarded)
+//!
+//! Appending only *adds* candidate neighbors, so pre-append evidence
+//! keeps its meaning and is preserved (the carry-over). Eviction is the
+//! opposite: it *removes* candidates, so a pre-eviction profile entry
+//! may cite a neighbor that no longer exists — and since the suffix
+//! profile's nearest-neighbor distances can only be **larger** than the
+//! full-series ones, stale entries would under-report discord distances
+//! and point outside the live window. The monitor therefore drops the
+//! exact fold *and* the carry on eviction and re-enqueues every
+//! surviving window; snapshots restart from `+∞` and re-tighten as
+//! queries run. Per eviction of `c` points the immediate cost is the
+//! [`MassPrecomputed::evict_front`] re-transform (`O(S log S)` at the
+//! shrunken padded size `S`, plus `O(N − c)` statistics
+//! re-accumulation — see its docs for why no cached state survives a
+//! front truncation), and restoring full snapshot coverage costs one
+//! query per surviving window, paid through the usual
+//! [`step`](StreamingDiscordMonitor::step) budget. As with appends,
+//! **callers should batch evictions**: the re-transform amortizes to
+//! `O((S log S)/c)` per retired point.
+//!
 //! # Convergence contract
 //!
 //! * Within an epoch (between appends), snapshots tighten
@@ -73,6 +108,12 @@
 use std::collections::VecDeque;
 use std::time::Duration;
 
+use egi_tskit::evict::validate_evict;
+/// The shared eviction error of both streaming subsystems, re-exported
+/// from [`egi_tskit::evict`] for callers of
+/// [`StreamingDiscordMonitor::evict`] /
+/// [`StreamingDiscordMonitor::retain_last`].
+pub use egi_tskit::evict::EvictError;
 use rayon::prelude::*;
 
 use crate::anytime::{pseudo_random_order, Deadline};
@@ -123,8 +164,16 @@ pub struct StreamingDiscordMonitor {
     m: usize,
     exclusion: usize,
     seed: u64,
-    /// Appends seen so far; salts the per-epoch query order.
+    /// Ingest events (appends and evictions) seen so far; salts the
+    /// per-epoch query order.
     epoch: u64,
+    /// Points retired from the front of the stream so far; the global
+    /// position of local index `i` is `offset + i`.
+    offset: usize,
+    /// Retention policy installed by
+    /// [`StreamingDiscordMonitor::retain_last`]: after every append the
+    /// live window is trimmed to at most this many points.
+    retention: Option<usize>,
     /// Points buffered before the series reaches `m` (no windows yet).
     warmup: Vec<f64>,
     mass: Option<MassPrecomputed>,
@@ -169,6 +218,8 @@ impl StreamingDiscordMonitor {
             exclusion,
             seed,
             epoch: 0,
+            offset: 0,
+            retention: None,
             warmup: Vec::new(),
             mass: None,
             pending: VecDeque::new(),
@@ -224,9 +275,47 @@ impl StreamingDiscordMonitor {
         self.done.len()
     }
 
-    /// Appends seen so far.
+    /// Ingest events (appends and evictions) seen so far.
     pub fn epochs(&self) -> u64 {
         self.epoch
+    }
+
+    /// Points retired from the front of the stream so far. Every index
+    /// the monitor reports (profile indices, discord starts) is local
+    /// to the live window; its global stream position is
+    /// `stream_offset() + index`.
+    pub fn stream_offset(&self) -> usize {
+        self.offset
+    }
+
+    /// The retention policy installed by
+    /// [`StreamingDiscordMonitor::retain_last`], if any.
+    pub fn retention(&self) -> Option<usize> {
+        self.retention
+    }
+
+    /// Capacity (in `f64`s) retained by the live series buffer — cheap
+    /// accessor for memory-bound assertions on eviction workloads.
+    pub fn series_capacity(&self) -> usize {
+        match &self.mass {
+            Some(mass) => mass.series_capacity(),
+            None => self.warmup.capacity(),
+        }
+    }
+
+    /// Current padded FFT transform size (0 before the first window
+    /// materializes). Bounded by `O(retention)` under a
+    /// [`retain_last`](StreamingDiscordMonitor::retain_last) policy.
+    pub fn padded_size(&self) -> usize {
+        self.mass.as_ref().map_or(0, MassPrecomputed::padded_size)
+    }
+
+    /// Capacity (in `f64`s) retained by the append/evict-path padded
+    /// buffer — cheap accessor for memory-bound assertions.
+    pub fn padded_capacity(&self) -> usize {
+        self.mass
+            .as_ref()
+            .map_or(0, MassPrecomputed::padded_capacity)
     }
 
     /// `true` once the exact fold covers every window of the current
@@ -263,6 +352,17 @@ impl StreamingDiscordMonitor {
             return;
         }
         self.epoch += 1;
+        self.ingest(points);
+        if let Some(n) = self.retention {
+            let excess = self.series_len().saturating_sub(n);
+            if excess > 0 {
+                self.evict(excess)
+                    .expect("retention >= m leaves a viable suffix");
+            }
+        }
+    }
+
+    fn ingest(&mut self, points: &[f64]) {
         match &mut self.mass {
             None => {
                 self.warmup.extend_from_slice(points);
@@ -300,6 +400,110 @@ impl StreamingDiscordMonitor {
                 self.pending = pending;
             }
         }
+    }
+
+    /// Retires the oldest `count` points from the live window. After
+    /// the eviction the monitor behaves — bit for bit, for every future
+    /// operation — like a fresh monitor that ingested only the
+    /// surviving suffix (plus the [`stream_offset`] bookkeeping), so
+    /// [`finish`](Self::finish) lands on batch
+    /// [`stamp_with_exclusion`](crate::stamp::stamp_with_exclusion)
+    /// over that suffix.
+    ///
+    /// All accumulated evidence (exact fold and carry-over) is
+    /// discarded and every surviving window re-enqueued — eviction
+    /// shrinks the candidate-pair set, so pre-eviction profile entries
+    /// are no longer upper bounds and may cite retired neighbors (see
+    /// the [module docs](self) for the full cost model).
+    ///
+    /// # Errors
+    ///
+    /// Rejected atomically (state untouched) when `count` exceeds the
+    /// live point count ([`EvictError::PastEnd`]) or a non-empty suffix
+    /// shorter than `m` would survive ([`EvictError::BelowMinimum`]).
+    /// Evicting *everything* is allowed: the monitor resets and the
+    /// next append starts a fresh warm-up.
+    ///
+    /// [`stream_offset`]: Self::stream_offset
+    pub fn evict(&mut self, count: usize) -> Result<(), EvictError> {
+        validate_evict(self.series_len(), count, self.m)?;
+        if count == 0 {
+            return Ok(());
+        }
+        let live = self.series_len();
+        self.epoch += 1;
+        self.offset += count;
+        self.pending.clear();
+        self.done.clear();
+        self.carry = None;
+        if self.mass.is_none() {
+            // Warm-up phase: the only valid non-zero eviction is the
+            // full drain (validated above).
+            self.warmup.clear();
+        } else if count == live {
+            self.mass = None;
+            self.fold_profile.clear();
+            self.fold_index.clear();
+        } else {
+            let mass = self.mass.as_mut().expect("checked above");
+            mass.evict_front(count);
+            let windows = mass.window_count();
+            self.fold_profile.clear();
+            self.fold_profile.resize(windows, f64::INFINITY);
+            self.fold_index.clear();
+            self.fold_index.resize(windows, usize::MAX);
+            self.pending = self.epoch_order(0, windows).into();
+        }
+        Ok(())
+    }
+
+    /// Installs a sliding-window retention policy and trims the live
+    /// window to at most `n` points now and after every future append —
+    /// the bounded-memory mode for unbounded streams. Returns how many
+    /// points the immediate trim retired.
+    ///
+    /// # Errors
+    ///
+    /// [`EvictError::BelowMinimum`] when `n < m` (the policy could
+    /// never keep a viable window); the state is untouched.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use egi_discord::streaming::StreamingDiscordMonitor;
+    ///
+    /// let series: Vec<f64> = (0..600)
+    ///     .map(|i| (i as f64 * 0.3).sin() + ((i * 13) % 7) as f64 * 0.05)
+    ///     .collect();
+    /// let m = 16;
+    /// let mut monitor = StreamingDiscordMonitor::new(m);
+    /// monitor.retain_last(256).unwrap();
+    /// for chunk in series.chunks(64) {
+    ///     monitor.append(chunk); // auto-trims to the last 256 points
+    /// }
+    /// assert_eq!(monitor.series_len(), 256);
+    /// assert_eq!(monitor.stream_offset(), 600 - 256);
+    ///
+    /// // The finished profile is bit-identical to batch STAMP over the
+    /// // surviving suffix.
+    /// let finished = monitor.finish();
+    /// let batch = egi_discord::stamp(&series[600 - 256..], m);
+    /// assert_eq!(finished.profile, batch.profile);
+    /// assert_eq!(finished.index, batch.index);
+    /// ```
+    pub fn retain_last(&mut self, n: usize) -> Result<usize, EvictError> {
+        if n < self.m {
+            return Err(EvictError::BelowMinimum {
+                remaining: n,
+                minimum: self.m,
+            });
+        }
+        self.retention = Some(n);
+        let excess = self.series_len().saturating_sub(n);
+        if excess > 0 {
+            self.evict(excess)?;
+        }
+        Ok(excess)
     }
 
     /// Processes the next pending query into the exact fold. Returns
@@ -668,5 +872,207 @@ mod tests {
     #[should_panic(expected = "window must be positive")]
     fn zero_window_rejected() {
         StreamingDiscordMonitor::new(0);
+    }
+
+    // ------------------------------------------------------------------
+    // Sliding-window eviction: boundary regressions. The property
+    // harness in tests/eviction_proptests.rs covers random schedules;
+    // these pin the exact edges of the contract.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn evict_then_finish_matches_batch_over_suffix() {
+        let series = test_series(260);
+        let m = 9;
+        let exc = m / 2;
+        for cut in [1usize, 40, 137] {
+            let mut monitor = StreamingDiscordMonitor::with_exclusion(m, exc);
+            for part in series.chunks(33) {
+                monitor.append(part);
+                monitor.run_for(7);
+            }
+            monitor.evict(cut).unwrap();
+            assert_eq!(monitor.stream_offset(), cut);
+            let finished = monitor.finish();
+            let reference = stamp_with_exclusion(&series[cut..], m, exc);
+            assert_eq!(finished.profile, reference.profile, "cut {cut}");
+            assert_eq!(finished.index, reference.index, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn evict_to_exactly_m_points_leaves_one_window() {
+        let series = test_series(100);
+        let m = 8;
+        let mut monitor = StreamingDiscordMonitor::new(m);
+        monitor.append(&series);
+        monitor.evict(series.len() - m).unwrap();
+        assert_eq!(monitor.series_len(), m);
+        assert_eq!(monitor.window_count(), 1);
+        let finished = monitor.finish();
+        let reference = stamp_with_exclusion(&series[series.len() - m..], m, m / 2);
+        assert_eq!(finished.profile, reference.profile);
+        assert_eq!(finished.index, reference.index);
+    }
+
+    #[test]
+    fn evict_below_minimum_errors_without_state_change() {
+        let series = test_series(60);
+        let m = 10;
+        let mut monitor = StreamingDiscordMonitor::new(m);
+        monitor.append(&series);
+        monitor.run_for(usize::MAX);
+        let before = monitor.snapshot();
+        // A non-empty suffix shorter than m must be rejected…
+        assert_eq!(
+            monitor.evict(55),
+            Err(EvictError::BelowMinimum {
+                remaining: 5,
+                minimum: m
+            })
+        );
+        // …as must reaching past the stream.
+        assert_eq!(
+            monitor.evict(61),
+            Err(EvictError::PastEnd {
+                requested: 61,
+                available: 60
+            })
+        );
+        // Atomic rejection: nothing moved.
+        assert_eq!(monitor.series_len(), 60);
+        assert_eq!(monitor.stream_offset(), 0);
+        assert_eq!(monitor.epochs(), 1);
+        let after = monitor.snapshot();
+        assert_eq!(after.profile, before.profile);
+        assert_eq!(after.index, before.index);
+    }
+
+    #[test]
+    fn evict_everything_then_append_restarts_cleanly() {
+        let series = test_series(150);
+        let m = 7;
+        let exc = m / 2;
+        let mut monitor = StreamingDiscordMonitor::with_exclusion(m, exc);
+        monitor.append(&series[..90]);
+        monitor.run_for(20);
+        monitor.evict(90).unwrap();
+        assert_eq!(monitor.series_len(), 0);
+        assert_eq!(monitor.window_count(), 0);
+        assert_eq!(monitor.stream_offset(), 90);
+        assert!(monitor.snapshot().is_empty());
+        assert!(!monitor.step());
+        // A fresh stream begins, warm-up and all.
+        monitor.append(&series[90..93]);
+        assert_eq!(monitor.window_count(), 0, "back in warm-up");
+        monitor.append(&series[93..]);
+        let finished = monitor.finish();
+        let reference = stamp_with_exclusion(&series[90..], m, exc);
+        assert_eq!(finished.profile, reference.profile);
+        assert_eq!(finished.index, reference.index);
+        assert_eq!(monitor.stream_offset(), 90);
+    }
+
+    #[test]
+    fn one_point_evictions_mirror_one_point_appends() {
+        let series = test_series(90);
+        let m = 6;
+        let exc = m / 2;
+        let mut monitor = StreamingDiscordMonitor::with_exclusion(m, exc);
+        monitor.append(&series);
+        for step in 1..=20usize {
+            monitor.evict(1).unwrap();
+            assert_eq!(monitor.stream_offset(), step);
+            monitor.run_for(3);
+        }
+        let finished = monitor.finish();
+        let reference = stamp_with_exclusion(&series[20..], m, exc);
+        assert_eq!(finished.profile, reference.profile);
+        assert_eq!(finished.index, reference.index);
+    }
+
+    #[test]
+    fn evict_during_warmup_only_full_drain_is_valid() {
+        let mut monitor = StreamingDiscordMonitor::new(8);
+        monitor.append(&[1.0, 2.0, 3.0]);
+        assert_eq!(
+            monitor.evict(1),
+            Err(EvictError::BelowMinimum {
+                remaining: 2,
+                minimum: 8
+            })
+        );
+        monitor.evict(3).unwrap();
+        assert_eq!(monitor.series_len(), 0);
+        assert_eq!(monitor.stream_offset(), 3);
+    }
+
+    #[test]
+    fn evict_zero_is_a_noop() {
+        let series = test_series(80);
+        let mut monitor = StreamingDiscordMonitor::new(8);
+        monitor.append(&series);
+        monitor.run_for(10);
+        let epochs = monitor.epochs();
+        monitor.evict(0).unwrap();
+        assert_eq!(monitor.epochs(), epochs);
+        assert_eq!(monitor.processed(), 10);
+    }
+
+    #[test]
+    fn retain_last_policy_trims_on_every_append() {
+        let series = test_series(400);
+        let m = 8;
+        let exc = m / 2;
+        let mut monitor = StreamingDiscordMonitor::with_exclusion(m, exc);
+        assert_eq!(monitor.retain_last(100), Ok(0));
+        assert_eq!(monitor.retention(), Some(100));
+        for part in series.chunks(30) {
+            monitor.append(part);
+            assert!(monitor.series_len() <= 100);
+            monitor.run_for(11);
+        }
+        assert_eq!(monitor.series_len(), 100);
+        assert_eq!(monitor.stream_offset(), 300);
+        let finished = monitor.finish();
+        let reference = stamp_with_exclusion(&series[300..], m, exc);
+        assert_eq!(finished.profile, reference.profile);
+        assert_eq!(finished.index, reference.index);
+    }
+
+    #[test]
+    fn retain_last_below_m_is_rejected() {
+        let mut monitor = StreamingDiscordMonitor::new(16);
+        assert_eq!(
+            monitor.retain_last(15),
+            Err(EvictError::BelowMinimum {
+                remaining: 15,
+                minimum: 16
+            })
+        );
+        assert_eq!(monitor.retention(), None);
+    }
+
+    #[test]
+    fn snapshot_after_evict_stays_inside_the_live_window() {
+        let series = test_series(200);
+        let m = 8;
+        let mut monitor = StreamingDiscordMonitor::new(m);
+        monitor.append(&series);
+        monitor.run_for(usize::MAX);
+        monitor.evict(60).unwrap();
+        let windows = monitor.window_count();
+        // All evidence was discarded (stale entries could cite retired
+        // neighbors); re-tightening stays in local coordinates.
+        let snap = monitor.snapshot();
+        assert!(snap.profile.iter().all(|d| d.is_infinite()));
+        monitor.run_for(25);
+        let snap = monitor.snapshot();
+        for &idx in &snap.index {
+            assert!(idx == usize::MAX || idx < windows, "index {idx} escaped");
+        }
+        for d in monitor.discords(3) {
+            assert!(d.start < windows);
+        }
     }
 }

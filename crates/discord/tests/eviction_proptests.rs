@@ -1,0 +1,249 @@
+//! Property harness for sliding-window eviction on the streaming
+//! discord monitor (the PR 5 suffix-parity contract).
+//!
+//! Random interleavings of `append` / `evict` / `step` schedules are
+//! driven against a shadow model of the surviving suffix; at every
+//! point the monitor must report only indices inside the live window,
+//! and `finish()` must land **bit-identical** to a fresh batch
+//! [`stamp_with_exclusion`] over exactly the suffix the shadow model
+//! says survived — for every seed, chunk size, eviction schedule, and
+//! worker count.
+
+use egi_discord::stamp::stamp_with_exclusion;
+use egi_discord::streaming::{EvictError, StreamingDiscordMonitor};
+use proptest::prelude::*;
+
+/// Deterministic unbounded stream: the value at global position `i`.
+/// Generating points from their global index keeps append chunks
+/// reproducible without materializing the whole stream up front.
+fn point(i: usize) -> f64 {
+    let t = i as f64;
+    (t * 0.17).sin() * 1.3 + 0.5 * (t * 0.031).cos() + ((i * 23) % 11) as f64 * 0.05
+}
+
+/// Picks a *valid* eviction count for a stream of `live` points under
+/// minimum window `m`: occasionally the full drain, otherwise a cut
+/// leaving at least `m` points (0 while warming up, where only the full
+/// drain is legal).
+fn choose_evict(live: usize, m: usize, amount: usize) -> usize {
+    if live == 0 {
+        return 0;
+    }
+    if amount.is_multiple_of(5) {
+        return live; // full drain now and then
+    }
+    if live < m {
+        return 0;
+    }
+    (amount * live / 40).min(live - m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The tentpole acceptance property: for random append/evict/step
+    /// interleavings, seeds, and chunk sizes, the finished profile is
+    /// bit-identical to batch STAMP over the surviving suffix, and no
+    /// snapshot ever reports an index outside the live window.
+    #[test]
+    fn interleaved_append_evict_step_converges_to_suffix_batch(
+        m in 4usize..12,
+        seed in 0u64..1_000_000_000,
+        ops in prop::collection::vec((0usize..10, 1usize..33), 3..14),
+    ) {
+        let exc = m / 2;
+        let mut monitor = StreamingDiscordMonitor::with_seed(m, exc, seed);
+        let mut appended = 0usize; // points ever appended (global cursor)
+        let mut offset = 0usize;   // points evicted (shadow model)
+        for &(kind, amount) in &ops {
+            match kind {
+                // Bias toward appends so streams actually grow.
+                0..=4 => {
+                    let chunk: Vec<f64> =
+                        (0..amount).map(|j| point(appended + j)).collect();
+                    monitor.append(&chunk);
+                    appended += amount;
+                }
+                5..=7 => {
+                    let c = choose_evict(monitor.series_len(), m, amount);
+                    monitor.evict(c).unwrap();
+                    offset += c;
+                }
+                _ => {
+                    monitor.run_for(amount);
+                }
+            }
+            prop_assert_eq!(monitor.stream_offset(), offset);
+            prop_assert_eq!(monitor.series_len(), appended - offset);
+            // Snapshot evidence never escapes the live window.
+            let snap = monitor.snapshot();
+            let windows = monitor.window_count();
+            prop_assert_eq!(snap.len(), windows);
+            for &idx in &snap.index {
+                prop_assert!(
+                    idx == usize::MAX || idx < windows,
+                    "index {} outside the {} live windows", idx, windows
+                );
+            }
+            for d in monitor.discords(2) {
+                prop_assert!(d.start < windows);
+            }
+        }
+        let suffix: Vec<f64> = (offset..appended).map(point).collect();
+        let finished = monitor.finish();
+        prop_assert!(monitor.is_current());
+        if suffix.len() >= m {
+            let reference = stamp_with_exclusion(&suffix, m, exc);
+            prop_assert_eq!(&finished.profile, &reference.profile);
+            prop_assert_eq!(&finished.index, &reference.index);
+        } else {
+            prop_assert!(finished.is_empty());
+        }
+    }
+
+    /// Invalid evictions — past the end, or leaving a non-empty suffix
+    /// shorter than `m` — are rejected atomically: the error names the
+    /// violation and the monitor state is untouched.
+    #[test]
+    fn invalid_evictions_are_rejected_atomically(
+        m in 4usize..12,
+        len in 1usize..70,
+        over in 1usize..20,
+        budget in 0usize..30,
+    ) {
+        let mut monitor = StreamingDiscordMonitor::new(m);
+        let chunk: Vec<f64> = (0..len).map(point).collect();
+        monitor.append(&chunk);
+        monitor.run_for(budget);
+        let processed = monitor.processed();
+        let snap = monitor.snapshot();
+
+        prop_assert_eq!(
+            monitor.evict(len + over),
+            Err(EvictError::PastEnd { requested: len + over, available: len })
+        );
+        // Every cut leaving 0 < remaining < m must fail.
+        for remaining in 1..m.min(len + 1) {
+            let c = len - remaining;
+            if c == 0 {
+                continue;
+            }
+            prop_assert_eq!(
+                monitor.evict(c),
+                Err(EvictError::BelowMinimum { remaining, minimum: m })
+            );
+        }
+        prop_assert_eq!(monitor.series_len(), len);
+        prop_assert_eq!(monitor.stream_offset(), 0);
+        prop_assert_eq!(monitor.processed(), processed);
+        let after = monitor.snapshot();
+        prop_assert_eq!(&after.profile, &snap.profile);
+        prop_assert_eq!(&after.index, &snap.index);
+    }
+
+    /// The parallel finish stays bit-identical to the suffix batch for
+    /// every worker count, with an eviction landing mid-stream.
+    #[test]
+    fn parallel_finish_after_eviction_matches_suffix_batch(
+        m in 4usize..10,
+        seed in 0u64..1_000_000_000,
+        chunk in 1usize..40,
+        cut_pct in 0usize..100,
+        threads in 2usize..9,
+    ) {
+        let exc = m / 2;
+        let total = 120usize;
+        let series: Vec<f64> = (0..total).map(point).collect();
+        let mut monitor = StreamingDiscordMonitor::with_seed(m, exc, seed);
+        for part in series.chunks(chunk) {
+            monitor.append(part);
+            monitor.run_for(chunk / 2);
+        }
+        // A valid cut: leave at least m points.
+        let cut = ((total - m) * cut_pct / 100).min(total - m);
+        monitor.evict(cut).unwrap();
+        let finished = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| monitor.finish_parallel());
+        let reference = stamp_with_exclusion(&series[cut..], m, exc);
+        prop_assert_eq!(&finished.profile, &reference.profile);
+        prop_assert_eq!(&finished.index, &reference.index);
+    }
+
+    /// A retention policy is just a pre-scheduled eviction: streaming
+    /// any series under `retain_last(n)` finishes bit-identical to the
+    /// batch profile of the last `n` points.
+    #[test]
+    fn retention_policy_matches_suffix_batch(
+        m in 4usize..10,
+        extra in 0usize..200,
+        chunk in 1usize..50,
+        n_mult in 1usize..6,
+    ) {
+        let n = m * n_mult + m; // retention >= 2m keeps windows meaningful
+        let total = n + extra;
+        let exc = m / 2;
+        let series: Vec<f64> = (0..total).map(point).collect();
+        let mut monitor = StreamingDiscordMonitor::with_exclusion(m, exc);
+        monitor.retain_last(n).unwrap();
+        for part in series.chunks(chunk) {
+            monitor.append(part);
+            monitor.run_for(3);
+            prop_assert!(monitor.series_len() <= n);
+        }
+        let survived = total.min(n);
+        prop_assert_eq!(monitor.series_len(), survived);
+        prop_assert_eq!(monitor.stream_offset(), total - survived);
+        let finished = monitor.finish();
+        let reference = stamp_with_exclusion(&series[total - survived..], m, exc);
+        prop_assert_eq!(&finished.profile, &reference.profile);
+        prop_assert_eq!(&finished.index, &reference.index);
+    }
+}
+
+/// Memory-bound regression: a long run under `retain_last(n)` keeps
+/// every buffer — live series, padded FFT buffer — at `O(n + chunk)`,
+/// independent of how many points were streamed, and still finishes on
+/// the exact suffix profile.
+#[test]
+fn memory_stays_bounded_under_retention() {
+    let m = 16usize;
+    let n = 384usize;
+    let chunk = 128usize;
+    let total = 8_000usize;
+    let pow2_bound = (n + chunk).next_power_of_two();
+    let mut monitor = StreamingDiscordMonitor::new(m);
+    monitor.retain_last(n).unwrap();
+    let mut fed = 0usize;
+    while fed < total {
+        let part: Vec<f64> = (0..chunk).map(|j| point(fed + j)).collect();
+        monitor.append(&part);
+        fed += chunk;
+        monitor.run_for(32);
+        assert!(monitor.series_len() <= n);
+        assert!(
+            monitor.padded_size() <= pow2_bound,
+            "padded transform grew to {} (bound {pow2_bound})",
+            monitor.padded_size()
+        );
+        assert!(
+            monitor.padded_capacity() <= pow2_bound,
+            "padded buffer capacity {} exceeds {pow2_bound}",
+            monitor.padded_capacity()
+        );
+        assert!(
+            monitor.series_capacity() <= 2 * (n + chunk),
+            "series capacity {} exceeds {}",
+            monitor.series_capacity(),
+            2 * (n + chunk)
+        );
+    }
+    assert_eq!(monitor.stream_offset(), fed - n);
+    let finished = monitor.finish();
+    let suffix: Vec<f64> = ((fed - n)..fed).map(point).collect();
+    let reference = stamp_with_exclusion(&suffix, m, m / 2);
+    assert_eq!(finished.profile, reference.profile);
+    assert_eq!(finished.index, reference.index);
+}

@@ -108,6 +108,55 @@ impl PaaStream {
         fresh
     }
 
+    /// Retires the windows evicted by dropping `points` from the front
+    /// of the underlying series, recomputing every surviving row from
+    /// the **rebased** prefix sums `stats`
+    /// ([`PrefixStats::rebase`](egi_tskit::stats::PrefixStats::rebase)
+    /// over the suffix). Returns how many rows the rebuilt stream
+    /// holds.
+    ///
+    /// Surviving windows cover the same raw points as before, but a
+    /// row's z-normalization statistics are prefix-sum *differences*,
+    /// and rebased sums accumulate from a different origin — the stored
+    /// coefficients are not bitwise reusable, so the whole stream is
+    /// recomputed through the batch kernel (`O(remaining · w)`,
+    /// allocation-reusing). The result is **bit-identical** to
+    /// [`PaaStream::new`] over the suffix, which is what the streaming
+    /// detector's suffix-parity contract needs; the recompute cost is
+    /// the SAX-side mirror of the discord monitor's eviction
+    /// re-transform.
+    ///
+    /// The stream may lag the series when eviction strikes (appends
+    /// extend streams lazily); the rebuild then also catches it up to
+    /// every window the suffix supports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the implied pre-eviction series (`stats` plus the
+    /// `points` evicted) could not have produced the windows already
+    /// materialized — i.e. `stats` belongs to a shorter series than the
+    /// one this stream was built over.
+    pub fn evict_front(&mut self, points: usize, stats: &PrefixStats) -> usize {
+        let target = window_count(stats.len(), self.n);
+        assert!(
+            target + points >= self.count,
+            "stats cover {} windows after {} evicted points, but the stream \
+             already had {}",
+            target,
+            points,
+            self.count
+        );
+        self.count = 0;
+        self.coeffs.clear();
+        self.extend_from_stats(stats)
+    }
+
+    /// Capacity (in `f64`s) retained by the coefficient buffer — cheap
+    /// accessor for memory-bound assertions on eviction workloads.
+    pub fn capacity(&self) -> usize {
+        self.coeffs.capacity()
+    }
+
     /// The coefficient row of window `start`.
     pub fn row(&self, start: usize) -> &[f64] {
         &self.coeffs[start * self.w..(start + 1) * self.w]
@@ -220,6 +269,70 @@ mod tests {
         stats.extend(&data[10..]);
         assert_eq!(stream.extend_from_stats(&stats), 30);
         assert_eq!(stream.count, 33);
+    }
+
+    #[test]
+    fn evict_front_is_bit_identical_to_fresh_suffix_stream() {
+        let data = wave(220);
+        let n = 20;
+        let w = 4;
+        for cut in [1usize, 50, 201, 210, 220] {
+            let mut stats = egi_tskit::PrefixStats::new(&data);
+            let mut stream = PaaStream::empty(n, w);
+            stream.extend_from_stats(&stats);
+            stats.rebase(&data[cut..]);
+            stream.evict_front(cut, &stats);
+            let fresh = PaaStream::new(&FastSax::new(&data[cut..]), n, w);
+            assert_eq!(stream.count, fresh.count, "cut {cut}");
+            assert_eq!(stream.coeffs, fresh.coeffs, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn evict_then_extend_matches_batch_over_suffix() {
+        let data = wave(180);
+        let n = 16;
+        let w = 5;
+        let mut stats = egi_tskit::PrefixStats::new(&data[..120]);
+        let mut stream = PaaStream::empty(n, w);
+        stream.extend_from_stats(&stats);
+        stats.rebase(&data[70..120]);
+        stream.evict_front(70, &stats);
+        stats.extend(&data[120..]);
+        stream.extend_from_stats(&stats);
+        let fresh = PaaStream::new(&FastSax::new(&data[70..]), n, w);
+        assert_eq!(stream.count, fresh.count);
+        assert_eq!(stream.coeffs, fresh.coeffs);
+    }
+
+    #[test]
+    fn evict_catches_up_a_lagging_stream() {
+        // Streams extend lazily, so an eviction can strike while the
+        // stream is behind the series; the rebuild must land on the
+        // fresh suffix stream regardless.
+        let data = wave(200);
+        let n = 16;
+        let w = 4;
+        let mut stats = egi_tskit::PrefixStats::new(&data[..120]);
+        let mut stream = PaaStream::empty(n, w);
+        stream.extend_from_stats(&stats); // current through point 120…
+        stats.extend(&data[120..]); // …but the series moved on
+        stats.rebase(&data[50..]);
+        stream.evict_front(50, &stats);
+        let fresh = PaaStream::new(&FastSax::new(&data[50..]), n, w);
+        assert_eq!(stream.count, fresh.count);
+        assert_eq!(stream.coeffs, fresh.coeffs);
+    }
+
+    #[test]
+    #[should_panic(expected = "already had")]
+    fn evict_with_too_short_stats_panics() {
+        let data = wave(100);
+        let stats = egi_tskit::PrefixStats::new(&data);
+        let mut stream = PaaStream::empty(10, 2);
+        stream.extend_from_stats(&stats); // 91 windows
+                                          // Stats from a far shorter series than the stream ever saw.
+        stream.evict_front(5, &egi_tskit::PrefixStats::new(&data[..20]));
     }
 
     #[test]

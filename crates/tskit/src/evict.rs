@@ -1,0 +1,166 @@
+//! The shared sliding-window eviction contract.
+//!
+//! Both streaming subsystems (`egi_discord::streaming`'s discord
+//! monitor and `egi_core::streaming`'s ensemble detector) retire old
+//! points through the same front-eviction rule, validated here so the
+//! boundary behaviour is identical on both sides:
+//!
+//! * an eviction may never reach past the ingested series
+//!   ([`EvictError::PastEnd`]);
+//! * the surviving suffix must either be **empty** (the stream resets
+//!   and the next append starts a fresh warm-up) or hold at least one
+//!   full analysis window ([`EvictError::BelowMinimum`]) — a live
+//!   window shorter than the subsequence length has no batch
+//!   counterpart, so allowing it would leave the suffix-parity
+//!   contract undefined.
+//!
+//! Violations are reported as [`EvictError`] values, never panics: an
+//! online service feeding `evict` from untrusted traffic must be able
+//! to reject a bad retirement request and keep running.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why an eviction (or retention-policy) request was rejected.
+///
+/// Returned by `evict` / `retain_last` on both streaming subsystems.
+/// The request is rejected **atomically**: on `Err` the stream state is
+/// untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictError {
+    /// More points were requested than the stream currently holds.
+    PastEnd {
+        /// Points the caller asked to retire.
+        requested: usize,
+        /// Points currently live in the stream.
+        available: usize,
+    },
+    /// The eviction would leave a non-empty suffix shorter than one
+    /// analysis window (`m` for the discord monitor, `window` for the
+    /// ensemble detector). Evict everything (suffix length zero) or
+    /// leave at least `minimum` points.
+    BelowMinimum {
+        /// Points that would survive the eviction.
+        remaining: usize,
+        /// Minimum viable non-empty suffix length.
+        minimum: usize,
+    },
+}
+
+impl fmt::Display for EvictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EvictError::PastEnd {
+                requested,
+                available,
+            } => write!(
+                f,
+                "cannot evict {requested} points: only {available} are live"
+            ),
+            EvictError::BelowMinimum { remaining, minimum } => write!(
+                f,
+                "eviction would leave {remaining} points, below the minimum \
+                 viable window of {minimum} (evict everything or leave at \
+                 least one full window)"
+            ),
+        }
+    }
+}
+
+impl Error for EvictError {}
+
+/// Validates a front-eviction of `requested` points from a stream
+/// holding `available`, where a non-empty suffix must keep at least
+/// `minimum` points (one analysis window).
+///
+/// This is the single boundary rule both streaming subsystems apply —
+/// see the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use egi_tskit::evict::{validate_evict, EvictError};
+///
+/// assert!(validate_evict(100, 40, 16).is_ok()); // 60 points survive
+/// assert!(validate_evict(100, 100, 16).is_ok()); // evict everything
+/// assert_eq!(
+///     validate_evict(100, 90, 16), // 10 < 16 points would survive
+///     Err(EvictError::BelowMinimum { remaining: 10, minimum: 16 })
+/// );
+/// assert_eq!(
+///     validate_evict(100, 101, 16),
+///     Err(EvictError::PastEnd { requested: 101, available: 100 })
+/// );
+/// ```
+pub fn validate_evict(
+    available: usize,
+    requested: usize,
+    minimum: usize,
+) -> Result<(), EvictError> {
+    if requested == 0 {
+        // A no-op request is always valid — even while the stream is
+        // below `minimum` (warm-up), since nothing changes.
+        return Ok(());
+    }
+    if requested > available {
+        return Err(EvictError::PastEnd {
+            requested,
+            available,
+        });
+    }
+    let remaining = available - requested;
+    if remaining != 0 && remaining < minimum {
+        return Err(EvictError::BelowMinimum { remaining, minimum });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_eviction_is_always_valid() {
+        assert!(validate_evict(0, 0, 8).is_ok());
+        assert!(validate_evict(5, 0, 8).is_ok());
+    }
+
+    #[test]
+    fn full_drain_is_valid_even_below_minimum() {
+        assert!(validate_evict(5, 5, 8).is_ok());
+    }
+
+    #[test]
+    fn partial_drain_of_a_short_stream_errors() {
+        // 5 live points, minimum 8: any non-empty suffix is below the
+        // minimum, so only the full drain passes.
+        for c in 1..5 {
+            assert_eq!(
+                validate_evict(5, c, 8),
+                Err(EvictError::BelowMinimum {
+                    remaining: 5 - c,
+                    minimum: 8
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn exact_minimum_suffix_is_valid() {
+        assert!(validate_evict(24, 16, 8).is_ok());
+    }
+
+    #[test]
+    fn errors_render_useful_messages() {
+        let past = EvictError::PastEnd {
+            requested: 9,
+            available: 4,
+        };
+        assert!(past.to_string().contains("only 4 are live"));
+        let below = EvictError::BelowMinimum {
+            remaining: 3,
+            minimum: 8,
+        };
+        assert!(below.to_string().contains("minimum viable window of 8"));
+    }
+}

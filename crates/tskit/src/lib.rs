@@ -12,6 +12,9 @@
 //! * [`deadline`] — the shared [`Deadline`] stopping condition for the
 //!   workspace's budgeted streaming refresh loops (discord monitor,
 //!   streaming ensemble detector).
+//! * [`evict`] — the shared sliding-window eviction contract
+//!   ([`EvictError`] + the boundary rule) both streaming subsystems
+//!   apply when retiring old points.
 //! * [`gen`] — synthetic data generators: random walks, periodic signals,
 //!   ECG/EEG-like traces, appliance power-usage cycles, and six UCR-style
 //!   dataset families used by the paper's evaluation (Section 7.1.1).
@@ -28,6 +31,7 @@
 
 pub mod corpus;
 pub mod deadline;
+pub mod evict;
 pub mod gen;
 pub mod io;
 pub mod series;
@@ -36,6 +40,7 @@ pub mod window;
 
 pub use corpus::{CorpusSpec, LabeledSeries};
 pub use deadline::Deadline;
+pub use evict::EvictError;
 pub use series::TimeSeries;
 pub use stats::{mean, stddev, znormalize, znormalize_into, PrefixStats};
 pub use window::{sliding_windows, SlidingWindows};
