@@ -11,7 +11,7 @@
 //!
 //! Three layers cooperate:
 //!
-//! * [`MassPrecomputed::append`] grows the series in place: prefix-sum
+//! * [`MassPrecomputed::append`](crate::mass::MassPrecomputed::append) grows the series in place: prefix-sum
 //!   window statistics continue their running totals, the padded FFT
 //!   buffer gains only the new tail (re-laid-out on power-of-two
 //!   growth, when the plan swaps to the next cached size), and the
@@ -80,7 +80,7 @@
 //! exact fold *and* the carry on eviction and re-enqueues every
 //! surviving window; snapshots restart from `+∞` and re-tighten as
 //! queries run. Per eviction of `c` points the immediate cost is the
-//! [`MassPrecomputed::evict_front`] re-transform (`O(S log S)` at the
+//! [`MassPrecomputed::evict_front`](crate::mass::MassPrecomputed::evict_front) re-transform (`O(S log S)` at the
 //! shrunken padded size `S`, plus `O(N − c)` statistics
 //! re-accumulation — see its docs for why no cached state survives a
 //! front truncation), and restoring full snapshot coverage costs one
@@ -104,6 +104,42 @@
 //!   [`stamp_with_exclusion`](crate::stamp::stamp_with_exclusion) on
 //!   the full series — property-tested across append schedules, seeds,
 //!   chunk sizes, and thread counts.
+//!
+//! # Versioned parity contract (backend selection)
+//!
+//! Everything above describes the **default** backend,
+//! [`MassBackend::Exact`]. The monitor can instead run on
+//! [`MassBackend::Segmented`] via
+//! [`StreamingDiscordMonitor::with_backend`]; the two sides of the
+//! contract are:
+//!
+//! * **`Exact` — the bit-identical oracle.** Monolithic spectrum;
+//!   `append` re-transforms the whole padded buffer (`O(S log S)` in
+//!   the series length `S`); finished profiles are bitwise equal to
+//!   batch [`stamp()`](crate::stamp::stamp). Every pre-existing test
+//!   and CI bit-parity gate runs on this backend, byte-for-byte
+//!   unchanged.
+//! * **`Segmented` — the toleranced fast path.** Block spectra
+//!   ([`crate::mass_seg::SegmentedMass`]): `append` costs
+//!   `O(chunk + B log B)` (tail block(s) only) and `evict` costs
+//!   `O(window count)` statistics rebase with **zero** FFT work, both
+//!   independent of the series length; per-query refresh rolls by the
+//!   MPX-style centered-covariance recurrence. Finished profiles agree
+//!   with the exact backend to **≤ 1e-9 absolute** outside exclusion
+//!   zones (property-tested in `tests/segmented_proptests.rs`), not
+//!   bitwise.
+//!
+//! Two behavioral differences follow from the looser guarantee. The
+//! segmented fold is **kept across appends** (the ≤1e-9 contract
+//! absorbs the per-generation FFT-layout jitter the exact backend must
+//! re-run queries to erase), so appends enqueue only the fresh windows
+//! and there is no catch-up backlog — the key to the backend's
+//! sustained ingest throughput. And queries are processed in ascending
+//! order rather than the seeded shuffle, which keeps consecutive
+//! queries on the rolled recurrence; the seed only matters for `Exact`.
+//! Eviction semantics are identical on both backends: evidence is
+//! discarded and every surviving window re-enqueued, because stale
+//! entries may cite retired neighbors regardless of kernel.
 
 use std::collections::VecDeque;
 use std::time::Duration;
@@ -117,7 +153,8 @@ pub use egi_tskit::evict::EvictError;
 use rayon::prelude::*;
 
 use crate::anytime::{pseudo_random_order, Deadline};
-use crate::mass::{MassPrecomputed, MassScratch};
+use crate::mass::MassScratch;
+use crate::mass_seg::{EngineScratch, MassBackend, MassEngine};
 use crate::profile::{merge_min_into, Discord, MatrixProfile};
 use crate::stamp::update_from_profile;
 use crate::stomp::default_exclusion;
@@ -174,9 +211,12 @@ pub struct StreamingDiscordMonitor {
     /// [`StreamingDiscordMonitor::retain_last`]: after every append the
     /// live window is trimmed to at most this many points.
     retention: Option<usize>,
+    /// Which MASS kernel backs the monitor (see the [module docs](self)
+    /// "versioned parity contract" section).
+    backend: MassBackend,
     /// Points buffered before the series reaches `m` (no windows yet).
     warmup: Vec<f64>,
-    mass: Option<MassPrecomputed>,
+    mass: Option<MassEngine>,
     /// Queries to process in the current epoch: fresh windows first,
     /// then never-processed older windows, then numerical re-runs.
     pending: VecDeque<usize>,
@@ -188,7 +228,7 @@ pub struct StreamingDiscordMonitor {
     /// Pre-append evidence (within FFT round-off of exact); dropped the
     /// moment the exact fold reaches full coverage.
     carry: Option<(Vec<f64>, Vec<usize>)>,
-    scratch: MassScratch,
+    scratch: EngineScratch,
     dp: Vec<f64>,
 }
 
@@ -212,6 +252,15 @@ impl StreamingDiscordMonitor {
     /// and query-order seed. The seed affects only the order pending
     /// queries are processed in, never any finished profile.
     pub fn with_seed(m: usize, exclusion: usize, seed: u64) -> Self {
+        Self::with_backend(m, exclusion, seed, MassBackend::Exact)
+    }
+
+    /// Builds an empty monitor on an explicit [`MassBackend`] — the
+    /// versioned parity contract's selection point (see the
+    /// [module docs](self)). `Exact` is what every other constructor
+    /// picks; `Segmented` trades bitwise batch parity for `O(chunk)`
+    /// appends/evictions and a toleranced (≤1e-9) profile.
+    pub fn with_backend(m: usize, exclusion: usize, seed: u64, backend: MassBackend) -> Self {
         assert!(m > 0, "window must be positive");
         Self {
             m,
@@ -220,6 +269,7 @@ impl StreamingDiscordMonitor {
             epoch: 0,
             offset: 0,
             retention: None,
+            backend,
             warmup: Vec::new(),
             mass: None,
             pending: VecDeque::new(),
@@ -227,9 +277,14 @@ impl StreamingDiscordMonitor {
             fold_profile: Vec::new(),
             fold_index: Vec::new(),
             carry: None,
-            scratch: MassScratch::default(),
+            scratch: EngineScratch::default(),
             dp: Vec::new(),
         }
+    }
+
+    /// Which MASS kernel backs this monitor.
+    pub fn backend(&self) -> MassBackend {
+        self.backend
     }
 
     /// Window length `m`.
@@ -261,7 +316,7 @@ impl StreamingDiscordMonitor {
     /// Number of sliding windows (profile length); zero until `m`
     /// points have arrived.
     pub fn window_count(&self) -> usize {
-        self.mass.as_ref().map_or(0, MassPrecomputed::window_count)
+        self.mass.as_ref().map_or(0, MassEngine::window_count)
     }
 
     /// Queries awaiting processing in the current epoch (fresh windows
@@ -303,19 +358,28 @@ impl StreamingDiscordMonitor {
         }
     }
 
-    /// Current padded FFT transform size (0 before the first window
-    /// materializes). Bounded by `O(retention)` under a
-    /// [`retain_last`](StreamingDiscordMonitor::retain_last) policy.
+    /// Current FFT transform size (0 before the first window
+    /// materializes): the padded size on the exact backend — bounded by
+    /// `O(retention)` under a
+    /// [`retain_last`](StreamingDiscordMonitor::retain_last) policy —
+    /// or the **constant** per-block size `2B` on the segmented one.
     pub fn padded_size(&self) -> usize {
-        self.mass.as_ref().map_or(0, MassPrecomputed::padded_size)
+        self.mass.as_ref().map_or(0, MassEngine::padded_size)
     }
 
     /// Capacity (in `f64`s) retained by the append/evict-path padded
     /// buffer — cheap accessor for memory-bound assertions.
     pub fn padded_capacity(&self) -> usize {
-        self.mass
-            .as_ref()
-            .map_or(0, MassPrecomputed::padded_capacity)
+        self.mass.as_ref().map_or(0, MassEngine::padded_capacity)
+    }
+
+    /// Block-store shape `(block_count, block_size, spectra_capacity)`
+    /// of the segmented backend — `None` before the first window or on
+    /// the exact backend. Memory-bound tests assert blocks + spectra
+    /// stay `O(n + chunk)` under a
+    /// [`retain_last`](StreamingDiscordMonitor::retain_last) policy.
+    pub fn block_store(&self) -> Option<(usize, usize, usize)> {
+        self.mass.as_ref().and_then(MassEngine::block_store)
     }
 
     /// `true` once the exact fold covers every window of the current
@@ -326,8 +390,14 @@ impl StreamingDiscordMonitor {
     }
 
     /// Deterministic processing order for `fresh` new queries of the
-    /// current epoch.
+    /// current epoch: a seeded shuffle on the exact backend (anytime
+    /// coverage spreads evenly), ascending on the segmented one (each
+    /// query rolls from its predecessor's covariance row, so order is
+    /// the throughput lever there).
     fn epoch_order(&self, offset: usize, fresh: usize) -> Vec<usize> {
+        if self.backend == MassBackend::Segmented {
+            return (offset..offset + fresh).collect();
+        }
         let salt = self
             .seed
             .wrapping_add(self.epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -338,7 +408,7 @@ impl StreamingDiscordMonitor {
     }
 
     /// Ingests new points. Never blocks on profile work: the append
-    /// cost is the spectrum refresh of [`MassPrecomputed::append`]
+    /// cost is the spectrum refresh of [`MassPrecomputed::append`](crate::mass::MassPrecomputed::append)
     /// (plus `O(1)` bookkeeping per already-processed query), and all
     /// query processing is deferred to [`step`](Self::step) /
     /// [`run_until`](Self::run_until) so the caller controls the
@@ -369,18 +439,34 @@ impl StreamingDiscordMonitor {
                 if self.warmup.len() < self.m {
                     return;
                 }
-                let mass = MassPrecomputed::new(&self.warmup, self.m);
+                let mass = MassEngine::new(&self.warmup, self.m, self.backend);
                 let count = mass.window_count();
                 self.fold_profile = vec![f64::INFINITY; count];
                 self.fold_index = vec![usize::MAX; count];
-                self.pending = self.epoch_order(0, count).into();
                 self.mass = Some(mass);
+                self.pending = self.epoch_order(0, count).into();
                 self.warmup = Vec::new();
             }
             Some(mass) => {
                 let old_count = mass.window_count();
                 mass.append(points);
                 let new_count = mass.window_count();
+                if self.backend == MassBackend::Segmented {
+                    // Toleranced contract: pre-append evidence stays in
+                    // the fold (its per-generation FFT jitter fits the
+                    // ≤1e-9 budget), and the symmetric per-query fold
+                    // means the fresh queries alone cover every
+                    // (old, new) pair — no carry, no re-runs. This is
+                    // the backend's sustained-throughput win: an append
+                    // of c points enqueues exactly c queries.
+                    self.fold_profile.resize(new_count, f64::INFINITY);
+                    self.fold_index.resize(new_count, usize::MAX);
+                    let mut pending =
+                        VecDeque::from(self.epoch_order(old_count, new_count - old_count));
+                    pending.append(&mut self.pending);
+                    self.pending = pending;
+                    return;
+                }
                 // Preserve pre-append evidence for live snapshots…
                 let (cp, ci) = self.carry.get_or_insert_with(|| {
                     (vec![f64::INFINITY; old_count], vec![usize::MAX; old_count])
@@ -605,8 +691,13 @@ impl StreamingDiscordMonitor {
         if self.mass.is_none() || threads <= 1 || self.pending.len() <= 1 {
             return self.finish();
         }
+        let Some(MassEngine::Exact(mass)) = self.mass.as_ref() else {
+            // Segmented queries roll sequentially from their
+            // predecessor's covariance row; fanning them out would
+            // force an FFT reseed per worker chunk and lose the point.
+            return self.finish();
+        };
         let remaining: Vec<usize> = self.pending.drain(..).collect();
-        let mass = self.mass.as_ref().expect("checked above");
         let count = mass.window_count();
         let exclusion = self.exclusion;
         let chunk_len = remaining.len().div_ceil(threads);
@@ -1051,6 +1142,184 @@ mod tests {
             })
         );
         assert_eq!(monitor.retention(), None);
+    }
+
+    // ------------------------------------------------------------------
+    // Segmented backend: the toleranced side of the versioned parity
+    // contract. The property harness in tests/segmented_proptests.rs
+    // covers random schedules; these pin the structural behavior.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn segmented_finish_within_tolerance_across_appends_and_evicts() {
+        let series = test_series(420);
+        let m = 9;
+        let exc = m / 2;
+        let mut fast = StreamingDiscordMonitor::with_backend(
+            m,
+            exc,
+            DEFAULT_MONITOR_SEED,
+            MassBackend::Segmented,
+        );
+        assert_eq!(fast.backend(), MassBackend::Segmented);
+        for part in series.chunks(37) {
+            fast.append(part);
+            fast.run_for(12); // leave a backlog on purpose
+        }
+        fast.evict(50).unwrap();
+        for part in [&series[..23], &series[100..140]] {
+            fast.append(part);
+            fast.run_for(9);
+        }
+        let finished = fast.finish();
+        assert!(fast.is_current());
+        // Shadow: an Exact monitor fed the identical schedule.
+        let mut oracle = StreamingDiscordMonitor::with_exclusion(m, exc);
+        for part in series.chunks(37) {
+            oracle.append(part);
+        }
+        oracle.evict(50).unwrap();
+        for part in [&series[..23], &series[100..140]] {
+            oracle.append(part);
+        }
+        let reference = oracle.finish();
+        assert_eq!(finished.len(), reference.len());
+        for i in 0..finished.len() {
+            let (a, b) = (finished.profile[i], reference.profile[i]);
+            // ≤1e-9 in distance or squared distance: d = √(2m(1−corr))
+            // amplifies corr rounding unboundedly as d → 0 (an exact
+            // re-appended chunk creates true-zero pairs here), but d²
+            // is linear in corr, so near-zero entries compare cleanly
+            // there. Either bound implies the profiles agree to within
+            // kernel round-off.
+            assert!(
+                (a - b).abs() <= 1e-9 || (a * a - b * b).abs() <= 1e-9,
+                "i={i}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn segmented_append_enqueues_only_fresh_queries() {
+        let series = test_series(300);
+        let m = 8;
+        let mut monitor = StreamingDiscordMonitor::with_backend(
+            m,
+            m / 2,
+            DEFAULT_MONITOR_SEED,
+            MassBackend::Segmented,
+        );
+        monitor.append(&series[..200]);
+        monitor.run_for(usize::MAX);
+        assert!(monitor.is_current());
+        monitor.append(&series[200..]);
+        // No catch-up backlog: exactly the fresh windows are pending —
+        // the structural source of the backend's ingest throughput.
+        assert_eq!(monitor.pending(), 100);
+        assert_eq!(monitor.run_for(usize::MAX), 100);
+        assert!(monitor.is_current());
+        // And the fold kept the pre-append evidence: every old entry is
+        // still finite and the profile is complete.
+        let snap = monitor.snapshot();
+        assert!(snap.profile.iter().all(|d| d.is_finite()));
+    }
+
+    #[test]
+    fn segmented_finish_parallel_falls_back_to_sequential() {
+        let series = test_series(240);
+        let m = 8;
+        let exc = m / 2;
+        let mut a = StreamingDiscordMonitor::with_backend(
+            m,
+            exc,
+            DEFAULT_MONITOR_SEED,
+            MassBackend::Segmented,
+        );
+        let mut b = StreamingDiscordMonitor::with_backend(
+            m,
+            exc,
+            DEFAULT_MONITOR_SEED,
+            MassBackend::Segmented,
+        );
+        a.append(&series);
+        b.append(&series);
+        let par = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+            .install(|| a.finish_parallel());
+        let seq = b.finish();
+        // Identical (not merely toleranced): same sequential rolled path.
+        assert_eq!(par.profile, seq.profile);
+        assert_eq!(par.index, seq.index);
+    }
+
+    #[test]
+    fn segmented_block_store_stays_bounded_under_retention() {
+        let m = 16usize;
+        let retention = 600usize;
+        let chunk = 64usize;
+        let mut monitor = StreamingDiscordMonitor::with_backend(
+            m,
+            m / 2,
+            DEFAULT_MONITOR_SEED,
+            MassBackend::Segmented,
+        );
+        monitor.retain_last(retention).unwrap();
+        assert!(monitor.block_store().is_none(), "no windows yet");
+        let mut fed = 0usize;
+        let mut transform_sizes = Vec::new();
+        while fed < 40_000 {
+            let part: Vec<f64> = (0..chunk)
+                .map(|j| ((fed + j) as f64 * 0.17).sin() * 1.5)
+                .collect();
+            monitor.append(&part);
+            fed += chunk;
+            monitor.run_for(8);
+            let (blocks, block, spectra) = monitor.block_store().expect("segmented backend");
+            // Blocks cover live points + dead prefix (< B) + chunk slack.
+            let max_blocks = (retention + chunk + block).div_ceil(block) + 1;
+            assert!(blocks <= max_blocks, "{blocks} blocks exceed {max_blocks}");
+            assert!(
+                spectra <= 2 * max_blocks * (block + 1),
+                "spectra capacity {spectra} exceeds O(n + chunk)"
+            );
+            assert!(
+                monitor.series_capacity() <= 2 * (retention + chunk + block),
+                "series capacity {} unbounded",
+                monitor.series_capacity()
+            );
+            transform_sizes.push(monitor.padded_size());
+        }
+        // The per-query transform size never grew with stream length.
+        assert!(transform_sizes.windows(2).all(|w| w[0] == w[1]));
+        // Exact monitor under the same policy: padded size tracks the
+        // retention window (the contrast the accessor documents).
+        assert_eq!(monitor.stream_offset(), fed - retention);
+    }
+
+    #[test]
+    fn exact_backend_is_the_default_and_bitwise_unchanged() {
+        let series = test_series(150);
+        let m = 8;
+        let monitor = StreamingDiscordMonitor::new(m);
+        assert_eq!(monitor.backend(), MassBackend::Exact);
+        // with_backend(Exact) is the same monitor with_seed builds.
+        let mut a = StreamingDiscordMonitor::with_backend(
+            m,
+            m / 2,
+            DEFAULT_MONITOR_SEED,
+            MassBackend::Exact,
+        );
+        let mut b = StreamingDiscordMonitor::new(m);
+        for part in series.chunks(33) {
+            a.append(part);
+            b.append(part);
+        }
+        let fa = a.finish();
+        let fb = b.finish();
+        assert_eq!(fa.profile, fb.profile);
+        assert_eq!(fa.index, fb.index);
     }
 
     #[test]
