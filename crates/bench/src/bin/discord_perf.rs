@@ -31,6 +31,11 @@
 //!   throughput and per-append member-refresh latency at several chunk
 //!   sizes, streaming the second half of the fixture (finished report
 //!   asserted bit-identical to batch `EnsembleDetector::detect`);
+//! * **Serve fleet** — the `egi-serve` runtime at 10 / 100 / 1,000
+//!   concurrent streams: per-tick ingest-coalesce + fair-share refresh
+//!   latency (mean and p99) and sustained fleet-wide points/s, with
+//!   every stream's catch-up profile asserted bit-identical to batch
+//!   STAMP over its own series;
 //! * **Ensemble** — `EnsembleDetector::detect`, serial vs parallel.
 //!
 //! Writes `BENCH_discord.json` into the current directory (override with
@@ -48,6 +53,8 @@ use egi_discord::mass_seg::MassBackend;
 use egi_discord::stamp::{stamp_per_query_fft, stamp_with_exclusion};
 use egi_discord::stomp::stomp_with_exclusion;
 use egi_discord::streaming::{StreamingDiscordMonitor, DEFAULT_MONITOR_SEED};
+use egi_serve::Fleet;
+use egi_tskit::Deadline;
 
 fn seconds<R>(f: impl FnOnce() -> R) -> (f64, R) {
     let start = Instant::now();
@@ -598,6 +605,107 @@ fn main() {
         ));
     }
 
+    // Serve fleet: the multi-stream runtime measured end to end at
+    // 10 / 100 / 1,000 concurrent streams. Each stream is a distinct
+    // deterministic series (phase-offset per stream id) behind the
+    // Exact backend so per-stream parity stays bitwise. Per tick every
+    // stream ingests one chunk through the coalescing front door, then
+    // one flush + fair-share refresh spreads a budget of exactly the
+    // fleet-wide pending queries across all dirty streams — so the
+    // scheduler must hand every stream precisely its own share for the
+    // fleet to come out clean (asserted). Recorded: per-tick
+    // latency mean/p99 and sustained fleet-wide points/s; afterwards
+    // every stream's catch-up profile is asserted bit-identical to
+    // batch STAMP over its own series, so the CI perf smoke fails on
+    // any fleet/standalone divergence.
+    let (fleet_warm, fleet_chunk, fleet_ticks, fleet_m) = if quick {
+        (96usize, 16usize, 4usize, 8usize)
+    } else {
+        (256, 32, 8, 16)
+    };
+    let serve_point = |id: u64, i: usize| {
+        let t = i as f64;
+        (t * 0.19 + id as f64 * 0.61).sin() * 1.2 + 0.4 * (t * 0.023 + id as f64 * 0.17).cos()
+    };
+    let mut serve_rows = Vec::new();
+    for &n_streams in &[10u64, 100, 1_000] {
+        let mut fleet: Fleet<StreamingDiscordMonitor> = Fleet::new();
+        let (ingest_warm_secs, ()) = seconds(|| {
+            for id in 0..n_streams {
+                let warm_series: Vec<f64> = (0..fleet_warm).map(|i| serve_point(id, i)).collect();
+                let mut monitor = StreamingDiscordMonitor::with_exclusion(fleet_m, fleet_m / 2);
+                monitor.append(&warm_series);
+                fleet.create(id, monitor).unwrap();
+            }
+        });
+        let (fleet_warm_secs, _) = seconds(|| fleet.refresh(Deadline::unbounded()));
+        let mut tick_times = Vec::with_capacity(fleet_ticks);
+        let mut ingest_secs = 0.0f64;
+        let fresh_points = n_streams as usize * fleet_chunk;
+        for t in 0..fleet_ticks {
+            let base = fleet_warm + t * fleet_chunk;
+            let (i_secs, ()) = seconds(|| {
+                for id in 0..n_streams {
+                    let chunk: Vec<f64> = (base..base + fleet_chunk)
+                        .map(|i| serve_point(id, i))
+                        .collect();
+                    fleet.ingest(id, &chunk).unwrap();
+                }
+            });
+            ingest_secs += i_secs;
+            // One tick = flush every inbox (one coalesced append per
+            // stream), then refresh with a budget of exactly the
+            // fleet-wide pending queries — the Exact backend restarts
+            // its fold per append, so that is the full window count,
+            // and the fair-share rotation must drain every stream.
+            let (t_secs, ()) = seconds(|| {
+                let flushed = fleet.flush_all();
+                assert_eq!(flushed, fresh_points, "one coalesced append per stream");
+                let budget = fleet.pending_units();
+                let ran = fleet.refresh(Deadline::queries(budget));
+                assert_eq!(ran, budget, "refresh must consume the whole budget");
+                assert_eq!(
+                    fleet.dirty_count(),
+                    0,
+                    "fair share must hand every stream exactly its share"
+                );
+            });
+            tick_times.push(t_secs);
+        }
+        let (serve_catchup_secs, reports) = seconds(|| fleet.finish_all());
+        assert_eq!(reports.len(), n_streams as usize);
+        let total = fleet_warm + fleet_ticks * fleet_chunk;
+        for (id, profile) in &reports {
+            let full: Vec<f64> = (0..total).map(|i| serve_point(*id, i)).collect();
+            let reference = stamp_with_exclusion(&full, fleet_m, fleet_m / 2);
+            assert_eq!(
+                profile.profile, reference.profile,
+                "fleet stream {id} deviates from standalone batch STAMP"
+            );
+            assert_eq!(profile.index, reference.index);
+        }
+        let mut sorted = tick_times.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let tick_p99 =
+            sorted[((sorted.len() as f64 * 0.99).ceil() as usize - 1).min(sorted.len() - 1)];
+        let tick_mean = tick_times.iter().sum::<f64>() / tick_times.len() as f64;
+        let streamed = fresh_points * fleet_ticks;
+        let serve_pps = streamed as f64 / (ingest_secs + tick_times.iter().sum::<f64>());
+        eprintln!(
+            "SERVE  {n_streams:>5} streams: {fleet_ticks} ticks of {fleet_chunk} pts/stream, \
+             tick mean {tick_mean:.4}s / p99 {tick_p99:.4}s, \
+             {serve_pps:.0} pts/s fleet-wide, catch-up {serve_catchup_secs:.3}s"
+        );
+        serve_rows.push(format!(
+            "    {{ \"streams\": {n_streams}, \"warm_points\": {fleet_warm}, \
+             \"chunk\": {fleet_chunk}, \"ticks\": {fleet_ticks}, \
+             \"create_secs\": {ingest_warm_secs:.6}, \"warmup_secs\": {fleet_warm_secs:.6}, \
+             \"ingest_secs\": {ingest_secs:.6}, \"tick_mean_secs\": {tick_mean:.6}, \
+             \"tick_p99_secs\": {tick_p99:.6}, \"points_per_sec\": {serve_pps:.1}, \
+             \"catchup_secs\": {serve_catchup_secs:.6} }}"
+        ));
+    }
+
     // Ensemble detection: serial vs parallel members.
     let (ens_len, ens_window, ens_members) = if quick {
         (8_000, 128, 10)
@@ -645,6 +753,7 @@ fn main() {
          \"ensemble_streaming\": {{\n    \"series_len\": {series_len},\n    \"window\": {es_window},\n    \
          \"members\": {es_members},\n    \"seed\": {es_seed},\n    \"warmup_points\": {warm},\n    \
          \"runs\": [\n{es_rows}\n    ]\n  }},\n  \
+         \"serve\": {{\n    \"m\": {fleet_m},\n    \"runs\": [\n{serve_rows}\n    ]\n  }},\n  \
          \"ensemble\": {{\n    \"series_len\": {ens_len},\n    \"window\": {ens_window},\n    \
          \"members\": {ens_members},\n    \"serial_secs\": {ens_serial_secs:.6},\n    \
          \"parallel_secs\": {ens_parallel_secs:.6}\n  }}\n}}\n",
@@ -660,6 +769,7 @@ fn main() {
         eviction_rows = eviction_rows.join(",\n"),
         segmented_rows = segmented_rows.join(",\n"),
         es_rows = es_rows.join(",\n"),
+        serve_rows = serve_rows.join(",\n"),
     );
     std::fs::write(&out_path, json).expect("write bench json");
     eprintln!("wrote {out_path}");

@@ -60,6 +60,7 @@ pub mod intern;
 pub mod multiwindow;
 pub mod runtime;
 pub mod select;
+pub mod session;
 pub mod single;
 pub mod streaming;
 

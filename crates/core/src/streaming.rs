@@ -131,17 +131,21 @@
 //!   `O(members)` queue bookkeeping.
 //!
 //! [`PrefixStats::extend`]: egi_tskit::stats::PrefixStats::extend
+//! [`Deadline`]: egi_tskit::Deadline
 
 use std::collections::VecDeque;
-use std::time::Duration;
 
 use egi_sax::stream::PaaStream;
 use egi_sax::{MultiResBreakpoints, NumerosityReduced, SaxConfig, SaxWord};
 use egi_sequitur::Sequitur;
 use egi_tskit::evict::{validate_evict, EvictError};
+use egi_tskit::session::StreamClock;
+/// The shared session contract (and its budgeted drivers), re-exported
+/// from [`egi_tskit::session`]: import it to drive the detector
+/// generically (e.g. from an `egi-serve` fleet).
+pub use egi_tskit::session::StreamSession;
 use egi_tskit::stats::PrefixStats;
 use egi_tskit::window::window_count;
-use egi_tskit::Deadline;
 use rayon::prelude::*;
 
 use crate::density::RuleDensityCurve;
@@ -250,15 +254,9 @@ pub struct StreamingEnsembleDetector {
     members: Vec<MemberState>,
     /// Members awaiting a refresh, FIFO in member order.
     stale: VecDeque<usize>,
-    /// Ingest events (appends and evictions) so far.
-    epoch: u64,
-    /// Points retired from the front of the stream so far; the global
-    /// position of local index `i` is `offset + i`.
-    offset: usize,
-    /// Retention policy installed by
-    /// [`StreamingEnsembleDetector::retain_last`]: after every append
-    /// the live window is trimmed to at most this many points.
-    retention: Option<usize>,
+    /// Epoch, stream offset, and retention bookkeeping — the
+    /// [`StreamClock`] shared by every [`StreamSession`] implementor.
+    clock: StreamClock,
 }
 
 impl StreamingEnsembleDetector {
@@ -304,9 +302,7 @@ impl StreamingEnsembleDetector {
             streams,
             members,
             stale: VecDeque::new(),
-            epoch: 0,
-            offset: 0,
-            retention: None,
+            clock: StreamClock::new(),
         }
     }
 
@@ -348,7 +344,7 @@ impl StreamingEnsembleDetector {
 
     /// Ingest events (appends and evictions) so far.
     pub fn epochs(&self) -> u64 {
-        self.epoch
+        self.clock.epochs()
     }
 
     /// Points retired from the front of the stream so far. Every index
@@ -356,13 +352,13 @@ impl StreamingEnsembleDetector {
     /// to the live window; its global stream position is
     /// `stream_offset() + index`.
     pub fn stream_offset(&self) -> usize {
-        self.offset
+        self.clock.offset()
     }
 
     /// The retention policy installed by
     /// [`StreamingEnsembleDetector::retain_last`], if any.
     pub fn retention(&self) -> Option<usize> {
-        self.retention
+        self.clock.retention()
     }
 
     /// Total capacity (in `f64`s) retained by the shared PAA coefficient
@@ -414,17 +410,15 @@ impl StreamingEnsembleDetector {
         if points.is_empty() {
             return;
         }
-        self.epoch += 1;
+        self.clock.record_append();
         self.series.extend_from_slice(points);
         self.stats.extend(points);
         self.stale.clear();
         self.stale.extend(0..self.members.len());
-        if let Some(n) = self.retention {
-            let excess = self.series.len().saturating_sub(n);
-            if excess > 0 {
-                self.evict(excess)
-                    .expect("retention >= window leaves a viable suffix");
-            }
+        let excess = self.clock.excess(self.series.len());
+        if excess > 0 {
+            self.evict(excess)
+                .expect("retention >= window leaves a viable suffix");
         }
     }
 
@@ -458,8 +452,7 @@ impl StreamingEnsembleDetector {
         if count == 0 {
             return Ok(());
         }
-        self.epoch += 1;
-        self.offset += count;
+        self.clock.record_evict(count);
         self.series.drain(..count);
         self.stats.rebase(&self.series);
         for stream in &mut self.streams {
@@ -540,8 +533,8 @@ impl StreamingEnsembleDetector {
                 minimum: window,
             });
         }
-        self.retention = Some(n);
-        let excess = self.series.len().saturating_sub(n);
+        self.clock.set_retention(n);
+        let excess = self.clock.excess(self.series.len());
         if excess > 0 {
             self.evict(excess)?;
         }
@@ -581,29 +574,6 @@ impl StreamingEnsembleDetector {
             len,
         );
         true
-    }
-
-    /// Refreshes up to `n` members; returns how many ran.
-    pub fn run_for(&mut self, n: usize) -> usize {
-        self.run_until(Deadline::queries(n))
-    }
-
-    /// Refreshes members until `deadline` expires or the detector is
-    /// current; returns how many units ran. The deadline is checked
-    /// **before** each unit, so it is overshot by at most one member
-    /// refresh's work, and an already-expired deadline runs zero units.
-    pub fn run_until(&mut self, deadline: Deadline) -> usize {
-        let mut ran = 0;
-        while !deadline.expired(ran) && self.step() {
-            ran += 1;
-        }
-        ran
-    }
-
-    /// Refreshes members for (at most) `budget` of wall-clock time —
-    /// the "hard latency budget between appends" entry point.
-    pub fn run_for_duration(&mut self, budget: Duration) -> usize {
-        self.run_until(Deadline::after(budget))
     }
 
     /// The current best-known ensemble rule-density curve, combined
@@ -683,7 +653,8 @@ impl StreamingEnsembleDetector {
 mod tests {
     use super::*;
     use crate::ensemble::Combiner;
-    use std::time::Instant;
+    use egi_tskit::Deadline;
+    use std::time::{Duration, Instant};
 
     fn test_series(n: usize) -> Vec<f64> {
         (0..n)

@@ -80,6 +80,7 @@ pub mod hotsax;
 pub mod mass;
 pub mod mass_seg;
 pub mod profile;
+pub mod session;
 pub mod stamp;
 pub mod stomp;
 pub mod streaming;

@@ -304,6 +304,26 @@ impl MassPrecomputed {
             .forward_into(padded, &mut self.series_spec, fft_scratch);
     }
 
+    /// Releases slack capacity the append/evict path accumulated:
+    /// shrinks the series buffer, the cached spectrum, the retained
+    /// padded buffer, the FFT scratch, and the prefix/window statistics
+    /// down to their live lengths. Purely an allocation-level operation
+    /// — every cached *value* is untouched, so results stay
+    /// bit-identical. Useful after a heavy one-off eviction (a steady
+    /// append/evict cycle should *not* compact; it would just
+    /// reallocate).
+    pub fn compact(&mut self) {
+        self.series.shrink_to_fit();
+        self.series_spec.shrink_to_fit();
+        self.stats.mu.shrink_to_fit();
+        self.stats.sigma.shrink_to_fit();
+        if let Some((prefix, padded, fft_scratch)) = &mut self.append_state {
+            prefix.shrink_to_fit();
+            padded.shrink_to_fit();
+            fft_scratch.shrink_to_fit();
+        }
+    }
+
     /// Window length `m`.
     pub fn m(&self) -> usize {
         self.m

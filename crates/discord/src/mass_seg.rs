@@ -391,6 +391,27 @@ impl SegmentedMass {
         self.generation
     }
 
+    /// Releases slack capacity across the block store: shrinks the
+    /// grid-aligned series buffer, every cached block spectrum (and the
+    /// spectra list itself), the prefix/window statistics, the delta
+    /// rows, and the transform scratch. Purely an allocation-level
+    /// operation — values are untouched, so the ≤1e-9 parity contract
+    /// is unaffected.
+    pub fn compact(&mut self) {
+        self.series.shrink_to_fit();
+        for spec in &mut self.specs {
+            spec.shrink_to_fit();
+        }
+        self.specs.shrink_to_fit();
+        self.prefix.shrink_to_fit();
+        self.stats.mu.shrink_to_fit();
+        self.stats.sigma.shrink_to_fit();
+        self.df.shrink_to_fit();
+        self.dg.shrink_to_fit();
+        self.fft_scratch.shrink_to_fit();
+        self.block_pad.shrink_to_fit();
+    }
+
     /// Sliding dot products of live window `q` against every live
     /// window, via per-block overlap-save convolution. `out` is cleared
     /// and filled to [`window_count`](Self::window_count) values.
@@ -737,6 +758,16 @@ impl MassEngine {
         match self {
             Self::Exact(mass) => mass.padded_capacity(),
             Self::Segmented(seg) => seg.transform_size(),
+        }
+    }
+
+    /// Releases slack capacity in whichever kernel is live (see
+    /// [`MassPrecomputed::compact`] / [`SegmentedMass::compact`]).
+    /// Values are untouched; every parity contract holds.
+    pub fn compact(&mut self) {
+        match self {
+            Self::Exact(mass) => mass.compact(),
+            Self::Segmented(seg) => seg.compact(),
         }
     }
 

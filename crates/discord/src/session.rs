@@ -1,0 +1,88 @@
+//! [`StreamSession`] wiring for [`StreamingDiscordMonitor`]: the
+//! budgeted driver entry points (thin delegates to the trait's default
+//! implementations, kept inherent so no caller needs a trait import)
+//! and the trait impl itself, through which generic drivers — e.g. an
+//! `egi-serve` fleet — schedule the monitor one [`step`] unit at a
+//! time.
+//!
+//! [`step`]: StreamingDiscordMonitor::step
+
+use std::time::Duration;
+
+use egi_tskit::evict::EvictError;
+use egi_tskit::session::StreamSession;
+
+use crate::anytime::Deadline;
+use crate::profile::MatrixProfile;
+use crate::streaming::StreamingDiscordMonitor;
+
+impl StreamingDiscordMonitor {
+    /// Processes up to `n` pending queries; returns how many ran.
+    pub fn run_for(&mut self, n: usize) -> usize {
+        <Self as StreamSession>::run_for(self, n)
+    }
+
+    /// Processes pending queries until `deadline` expires or the
+    /// monitor is current; returns how many ran. As in
+    /// [`crate::anytime::AnytimeStamp::run_until`], the deadline is
+    /// checked before each query, so it is never overshot by more than
+    /// one query's work.
+    pub fn run_until(&mut self, deadline: Deadline) -> usize {
+        <Self as StreamSession>::run_until(self, deadline)
+    }
+
+    /// Processes pending queries for (at most) `budget` of wall-clock
+    /// time — the "hard latency budget between appends" entry point.
+    pub fn run_for_duration(&mut self, budget: Duration) -> usize {
+        <Self as StreamSession>::run_for_duration(self, budget)
+    }
+}
+
+/// The shared streaming-session contract: every method forwards to the
+/// inherent implementation, so driving the monitor through the trait
+/// (e.g. from an `egi-serve` fleet) is bit-identical to calling it
+/// directly. One refresh *unit* is one MASS query.
+impl StreamSession for StreamingDiscordMonitor {
+    type Snapshot = MatrixProfile;
+    type Report = MatrixProfile;
+
+    fn append(&mut self, points: &[f64]) {
+        StreamingDiscordMonitor::append(self, points);
+    }
+
+    fn step(&mut self) -> bool {
+        StreamingDiscordMonitor::step(self)
+    }
+
+    fn evict(&mut self, count: usize) -> Result<(), EvictError> {
+        StreamingDiscordMonitor::evict(self, count)
+    }
+
+    fn retain_last(&mut self, n: usize) -> Result<usize, EvictError> {
+        StreamingDiscordMonitor::retain_last(self, n)
+    }
+
+    fn series_len(&self) -> usize {
+        StreamingDiscordMonitor::series_len(self)
+    }
+
+    fn pending_units(&self) -> usize {
+        self.pending()
+    }
+
+    fn stream_offset(&self) -> usize {
+        StreamingDiscordMonitor::stream_offset(self)
+    }
+
+    fn is_current(&self) -> bool {
+        StreamingDiscordMonitor::is_current(self)
+    }
+
+    fn snapshot(&self) -> MatrixProfile {
+        StreamingDiscordMonitor::snapshot(self)
+    }
+
+    fn finish(&mut self) -> MatrixProfile {
+        StreamingDiscordMonitor::finish(self)
+    }
+}

@@ -142,7 +142,6 @@
 //! entries may cite retired neighbors regardless of kernel.
 
 use std::collections::VecDeque;
-use std::time::Duration;
 
 use egi_tskit::evict::validate_evict;
 /// The shared eviction error of both streaming subsystems, re-exported
@@ -150,9 +149,14 @@ use egi_tskit::evict::validate_evict;
 /// [`StreamingDiscordMonitor::evict`] /
 /// [`StreamingDiscordMonitor::retain_last`].
 pub use egi_tskit::evict::EvictError;
+use egi_tskit::session::StreamClock;
+/// The shared session contract (and its budgeted drivers), re-exported
+/// from [`egi_tskit::session`]: import it to drive the monitor
+/// generically (e.g. from an `egi-serve` fleet).
+pub use egi_tskit::session::StreamSession;
 use rayon::prelude::*;
 
-use crate::anytime::{pseudo_random_order, Deadline};
+use crate::anytime::pseudo_random_order;
 use crate::mass::MassScratch;
 use crate::mass_seg::{EngineScratch, MassBackend, MassEngine};
 use crate::profile::{merge_min_into, Discord, MatrixProfile};
@@ -201,16 +205,10 @@ pub struct StreamingDiscordMonitor {
     m: usize,
     exclusion: usize,
     seed: u64,
-    /// Ingest events (appends and evictions) seen so far; salts the
-    /// per-epoch query order.
-    epoch: u64,
-    /// Points retired from the front of the stream so far; the global
-    /// position of local index `i` is `offset + i`.
-    offset: usize,
-    /// Retention policy installed by
-    /// [`StreamingDiscordMonitor::retain_last`]: after every append the
-    /// live window is trimmed to at most this many points.
-    retention: Option<usize>,
+    /// Epoch (salts the per-epoch query order), stream offset, and
+    /// retention bookkeeping — the [`StreamClock`] shared by every
+    /// [`StreamSession`] implementor.
+    clock: StreamClock,
     /// Which MASS kernel backs the monitor (see the [module docs](self)
     /// "versioned parity contract" section).
     backend: MassBackend,
@@ -266,9 +264,7 @@ impl StreamingDiscordMonitor {
             m,
             exclusion,
             seed,
-            epoch: 0,
-            offset: 0,
-            retention: None,
+            clock: StreamClock::new(),
             backend,
             warmup: Vec::new(),
             mass: None,
@@ -332,7 +328,7 @@ impl StreamingDiscordMonitor {
 
     /// Ingest events (appends and evictions) seen so far.
     pub fn epochs(&self) -> u64 {
-        self.epoch
+        self.clock.epochs()
     }
 
     /// Points retired from the front of the stream so far. Every index
@@ -340,13 +336,13 @@ impl StreamingDiscordMonitor {
     /// to the live window; its global stream position is
     /// `stream_offset() + index`.
     pub fn stream_offset(&self) -> usize {
-        self.offset
+        self.clock.offset()
     }
 
     /// The retention policy installed by
     /// [`StreamingDiscordMonitor::retain_last`], if any.
     pub fn retention(&self) -> Option<usize> {
-        self.retention
+        self.clock.retention()
     }
 
     /// Capacity (in `f64`s) retained by the live series buffer — cheap
@@ -400,7 +396,7 @@ impl StreamingDiscordMonitor {
         }
         let salt = self
             .seed
-            .wrapping_add(self.epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            .wrapping_add(self.clock.epochs().wrapping_mul(0x9E37_79B9_7F4A_7C15));
         pseudo_random_order(fresh, salt)
             .into_iter()
             .map(|i| i + offset)
@@ -421,14 +417,12 @@ impl StreamingDiscordMonitor {
         if points.is_empty() {
             return;
         }
-        self.epoch += 1;
+        self.clock.record_append();
         self.ingest(points);
-        if let Some(n) = self.retention {
-            let excess = self.series_len().saturating_sub(n);
-            if excess > 0 {
-                self.evict(excess)
-                    .expect("retention >= m leaves a viable suffix");
-            }
+        let excess = self.clock.excess(self.series_len());
+        if excess > 0 {
+            self.evict(excess)
+                .expect("retention >= m leaves a viable suffix");
         }
     }
 
@@ -517,8 +511,7 @@ impl StreamingDiscordMonitor {
             return Ok(());
         }
         let live = self.series_len();
-        self.epoch += 1;
-        self.offset += count;
+        self.clock.record_evict(count);
         self.pending.clear();
         self.done.clear();
         self.carry = None;
@@ -584,8 +577,8 @@ impl StreamingDiscordMonitor {
                 minimum: self.m,
             });
         }
-        self.retention = Some(n);
-        let excess = self.series_len().saturating_sub(n);
+        self.clock.set_retention(n);
+        let excess = self.clock.excess(self.series_len());
         if excess > 0 {
             self.evict(excess)?;
         }
@@ -619,28 +612,30 @@ impl StreamingDiscordMonitor {
         true
     }
 
-    /// Processes up to `n` pending queries; returns how many ran.
-    pub fn run_for(&mut self, n: usize) -> usize {
-        self.run_until(Deadline::queries(n))
-    }
-
-    /// Processes pending queries until `deadline` expires or the
-    /// monitor is current; returns how many ran. As in
-    /// [`crate::anytime::AnytimeStamp::run_until`], the deadline is
-    /// checked before each query, so it is never overshot by more than
-    /// one query's work.
-    pub fn run_until(&mut self, deadline: Deadline) -> usize {
-        let mut ran = 0;
-        while !deadline.expired(ran) && self.step() {
-            ran += 1;
+    /// Releases the slack capacity the streaming buffers accumulated —
+    /// the memory-reclamation counterpart of
+    /// [`retain_last`](Self::retain_last), mirroring
+    /// `StreamingEnsembleDetector::compact` for API symmetry.
+    ///
+    /// Eviction truncates *lengths* but deliberately keeps *capacity*
+    /// (the steady-state append/evict cycle reuses it); after a heavy
+    /// one-off eviction that capacity is dead weight. `compact` shrinks
+    /// the series buffer, the padded FFT buffer, the cached spectra
+    /// (per-block on the segmented backend), and the per-query scratch
+    /// down to the live working set. Purely an allocation-level
+    /// operation: no observable state changes, and every parity
+    /// contract is untouched.
+    pub fn compact(&mut self) {
+        if let Some(mass) = &mut self.mass {
+            mass.compact();
         }
-        ran
-    }
-
-    /// Processes pending queries for (at most) `budget` of wall-clock
-    /// time — the "hard latency budget between appends" entry point.
-    pub fn run_for_duration(&mut self, budget: Duration) -> usize {
-        self.run_until(Deadline::after(budget))
+        self.warmup.shrink_to_fit();
+        self.pending.shrink_to_fit();
+        self.done.shrink_to_fit();
+        self.fold_profile.shrink_to_fit();
+        self.fold_index.shrink_to_fit();
+        self.dp.shrink_to_fit();
+        self.scratch = EngineScratch::default();
     }
 
     /// The current best-known matrix profile: the exact fold min-merged
@@ -734,6 +729,8 @@ impl StreamingDiscordMonitor {
 
 #[cfg(test)]
 mod tests {
+    use std::time::Duration;
+
     use super::*;
     use crate::stamp::stamp_with_exclusion;
 

@@ -1,0 +1,752 @@
+//! The fleet manager: many [`StreamSession`]s, one scheduler.
+//!
+//! # Scheduling model
+//!
+//! A stream is **dirty** while its session has pending refresh units
+//! (work enqueued by appends and evictions that [`step()`] has not yet
+//! performed). The fleet keeps the dirty streams in a round-robin
+//! rotation and [`Fleet::refresh`] services them one *unit* at a time
+//! under one global [`Deadline`].
+//!
+//! ## Fair-share scheduling
+//!
+//! The scheduler's fairness guarantee is structural, not statistical:
+//! the rotation is a FIFO queue of dirty stream ids, each present
+//! exactly once. A refresh pass pops the front stream, runs **one**
+//! `step()` unit, and re-enqueues the stream at the back iff it still
+//! has pending work. Consequences:
+//!
+//! * **Starvation bound** — between two consecutive services of any
+//!   dirty stream, every other dirty stream is serviced at most once;
+//!   equivalently, a refresh budget of `u` units over `d` dirty
+//!   streams gives every stream at least `⌊u/d⌋` units (and at most
+//!   `⌈u/d⌉`) while it stays dirty. With `u ≥ d`, **every dirty
+//!   stream gets ≥ 1 unit per full rotation** — no stream waits
+//!   behind another's backlog.
+//! * **Deadline contract** — the deadline is checked before each
+//!   unit (the same contract every session driver honors), so a
+//!   wall-clock deadline is overshot by at most one unit's work and
+//!   an already-expired deadline runs zero units.
+//! * **Cost model** — scheduling overhead is `O(1)` per unit (one
+//!   queue pop, one hash lookup, one conditional re-push), so a
+//!   refresh of `u` units costs `u · (unit work + O(1))`; the
+//!   per-tick latency is governed entirely by the deadline the
+//!   caller passes, independent of fleet size. Memory is `O(streams)`
+//!   for the rotation plus whatever each session retains (bound it
+//!   per stream with [`Fleet::retain_last`]).
+//!
+//! Because every unit is a plain `step()` on one session, scheduling
+//! order can never change any stream's final answer: a session's state
+//! depends only on its own append/evict schedule and how *many* of its
+//! units ran, never on when other streams ran theirs. That is the
+//! whole parity argument — the fleet inherits bit-parity from the
+//! sessions it schedules.
+//!
+//! [`step()`]: StreamSession::step
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use egi_tskit::evict::EvictError;
+use egi_tskit::session::StreamSession;
+use egi_tskit::Deadline;
+use rayon::prelude::*;
+use rustc_hash::FxHashMap;
+
+/// Identifier a fleet stream is keyed by.
+pub type StreamId = u64;
+
+/// Errors surfaced by fleet operations. Every error is rejected
+/// **atomically**: the fleet (and every session in it) is left exactly
+/// as it was, so one misbehaving caller cannot poison the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetError {
+    /// The stream id is not (or no longer) in the fleet.
+    UnknownStream {
+        /// The offending id.
+        id: StreamId,
+    },
+    /// [`Fleet::create`] was asked to reuse a live stream id.
+    DuplicateStream {
+        /// The offending id.
+        id: StreamId,
+    },
+    /// The stream's session rejected an eviction (the shared
+    /// [`EvictError`] boundary rule); the session is untouched.
+    Evict {
+        /// The stream whose eviction was rejected.
+        id: StreamId,
+        /// The session's rejection.
+        error: EvictError,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownStream { id } => write!(f, "unknown stream {id}"),
+            Self::DuplicateStream { id } => write!(f, "stream {id} already exists"),
+            Self::Evict { id, error } => write!(f, "eviction rejected on stream {id}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// What one [`Fleet::tick`] did: ingest buffers flushed, then refresh
+/// units run under the tick's deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TickReport {
+    /// Buffered points coalesced into per-stream appends by the flush
+    /// phase.
+    pub flushed_points: usize,
+    /// Refresh units the fair-share scheduler ran.
+    pub units: usize,
+}
+
+/// One managed stream: its session, its ingest buffer, and whether it
+/// currently sits in the refresh rotation.
+#[derive(Debug)]
+struct Slot<S> {
+    session: S,
+    /// Coalescing buffer for [`Fleet::ingest`]; drained into one
+    /// `append` per flush.
+    inbox: Vec<f64>,
+    /// `true` iff the stream's id is in the rotation queue.
+    dirty: bool,
+}
+
+/// A manager for many independent [`StreamSession`]s — batched ingest,
+/// per-stream memory budgets, and fair-share refresh scheduling under
+/// one global [`Deadline`]. See the [module docs](self) for the
+/// scheduling model and the crate docs for a quickstart.
+#[derive(Debug)]
+pub struct Fleet<S: StreamSession> {
+    slots: FxHashMap<StreamId, Slot<S>>,
+    /// Stream ids in creation order — the deterministic iteration
+    /// order for flushes and reports.
+    order: Vec<StreamId>,
+    /// Round-robin rotation: exactly the dirty stream ids, each once.
+    rotation: VecDeque<StreamId>,
+    /// Total points currently buffered across all inboxes.
+    buffered: usize,
+}
+
+impl<S: StreamSession> Default for Fleet<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: StreamSession> Fleet<S> {
+    /// An empty fleet.
+    pub fn new() -> Self {
+        Self {
+            slots: FxHashMap::default(),
+            order: Vec::new(),
+            rotation: VecDeque::new(),
+            buffered: 0,
+        }
+    }
+
+    /// Number of live streams.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` when the fleet manages no streams.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// `true` when `id` names a live stream.
+    pub fn contains(&self, id: StreamId) -> bool {
+        self.slots.contains_key(&id)
+    }
+
+    /// Live stream ids in creation order.
+    pub fn ids(&self) -> &[StreamId] {
+        &self.order
+    }
+
+    /// Read-only access to a stream's session (e.g. for accessors like
+    /// `series_len` or backend-specific capacity probes).
+    pub fn session(&self, id: StreamId) -> Option<&S> {
+        self.slots.get(&id).map(|slot| &slot.session)
+    }
+
+    /// Adds `session` under `id`. A session created mid-life (with
+    /// pending work) enters the refresh rotation immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::DuplicateStream`] when `id` is already live; the
+    /// fleet is unchanged (the offered session is dropped).
+    pub fn create(&mut self, id: StreamId, session: S) -> Result<(), FleetError> {
+        if self.slots.contains_key(&id) {
+            return Err(FleetError::DuplicateStream { id });
+        }
+        let dirty = session.pending_units() > 0;
+        self.slots.insert(
+            id,
+            Slot {
+                session,
+                inbox: Vec::new(),
+                dirty,
+            },
+        );
+        self.order.push(id);
+        if dirty {
+            self.rotation.push_back(id);
+        }
+        Ok(())
+    }
+
+    /// Removes stream `id` and returns its session (buffered,
+    /// never-flushed points are dropped with the inbox).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownStream`] when `id` is not live.
+    pub fn remove(&mut self, id: StreamId) -> Result<S, FleetError> {
+        let slot = self
+            .slots
+            .remove(&id)
+            .ok_or(FleetError::UnknownStream { id })?;
+        self.order.retain(|&o| o != id);
+        if slot.dirty {
+            self.rotation.retain(|&r| r != id);
+        }
+        self.buffered -= slot.inbox.len();
+        Ok(slot.session)
+    }
+
+    /// Appends `points` to stream `id` **immediately** (no
+    /// coalescing), flushing any buffered points first so operations
+    /// apply in call order. Prefer [`ingest`](Self::ingest) +
+    /// [`tick`](Self::tick) for small per-stream dribbles — the
+    /// monitors' append cost amortizes over chunk size.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownStream`] when `id` is not live.
+    pub fn append_to(&mut self, id: StreamId, points: &[f64]) -> Result<(), FleetError> {
+        self.flush(id)?;
+        let slot = self.slots.get_mut(&id).expect("flush checked liveness");
+        slot.session.append(points);
+        Self::sync_rotation(&mut self.rotation, id, slot);
+        Ok(())
+    }
+
+    /// Buffers `points` for stream `id` — the batched front door. The
+    /// session sees nothing until the next flush coalesces the
+    /// stream's whole buffer into **one** append.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownStream`] when `id` is not live.
+    pub fn ingest(&mut self, id: StreamId, points: &[f64]) -> Result<(), FleetError> {
+        let slot = self
+            .slots
+            .get_mut(&id)
+            .ok_or(FleetError::UnknownStream { id })?;
+        slot.inbox.extend_from_slice(points);
+        self.buffered += points.len();
+        Ok(())
+    }
+
+    /// Total points currently buffered across all streams.
+    pub fn buffered(&self) -> usize {
+        self.buffered
+    }
+
+    /// Points currently buffered for stream `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownStream`] when `id` is not live.
+    pub fn buffered_for(&self, id: StreamId) -> Result<usize, FleetError> {
+        self.slots
+            .get(&id)
+            .map(|slot| slot.inbox.len())
+            .ok_or(FleetError::UnknownStream { id })
+    }
+
+    /// Coalesces stream `id`'s buffered points into one append.
+    /// Returns how many points were flushed (0 for an empty buffer).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownStream`] when `id` is not live.
+    pub fn flush(&mut self, id: StreamId) -> Result<usize, FleetError> {
+        let slot = self
+            .slots
+            .get_mut(&id)
+            .ok_or(FleetError::UnknownStream { id })?;
+        let n = slot.inbox.len();
+        if n > 0 {
+            slot.session.append(&slot.inbox);
+            slot.inbox.clear();
+            self.buffered -= n;
+            Self::sync_rotation(&mut self.rotation, id, slot);
+        }
+        Ok(n)
+    }
+
+    /// Flushes every stream's buffer (in creation order); returns the
+    /// total points appended.
+    pub fn flush_all(&mut self) -> usize {
+        let mut flushed = 0;
+        for i in 0..self.order.len() {
+            let id = self.order[i];
+            flushed += self.flush(id).expect("order holds only live ids");
+        }
+        flushed
+    }
+
+    /// Evicts the oldest `count` points from stream `id` (flushing its
+    /// buffer first, so operations apply in call order).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownStream`] when `id` is not live;
+    /// [`FleetError::Evict`] when the session rejects the cut under
+    /// the shared boundary rule. Rejection is atomic — the session,
+    /// the stream's scheduling state, and every other stream are
+    /// untouched, so an invalid eviction cannot poison the fleet.
+    pub fn evict_from(&mut self, id: StreamId, count: usize) -> Result<(), FleetError> {
+        self.flush(id)?;
+        let slot = self.slots.get_mut(&id).expect("flush checked liveness");
+        slot.session
+            .evict(count)
+            .map_err(|error| FleetError::Evict { id, error })?;
+        Self::sync_rotation(&mut self.rotation, id, slot);
+        Ok(())
+    }
+
+    /// Installs a per-stream retention budget: stream `id` keeps at
+    /// most `n` live points from now on (its buffer is flushed first).
+    /// Returns the number of points the immediate trim retired.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownStream`] when `id` is not live;
+    /// [`FleetError::Evict`] when the session rejects the budget
+    /// (e.g. smaller than its analysis window). Atomic, as with
+    /// [`evict_from`](Self::evict_from).
+    pub fn retain_last(&mut self, id: StreamId, n: usize) -> Result<usize, FleetError> {
+        self.flush(id)?;
+        let slot = self.slots.get_mut(&id).expect("flush checked liveness");
+        let trimmed = slot
+            .session
+            .retain_last(n)
+            .map_err(|error| FleetError::Evict { id, error })?;
+        Self::sync_rotation(&mut self.rotation, id, slot);
+        Ok(trimmed)
+    }
+
+    /// The stream's current (possibly stale) answer — its session's
+    /// [`snapshot`](StreamSession::snapshot). Reflects flushed points
+    /// only; buffered ingest is invisible until the next flush.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownStream`] when `id` is not live.
+    pub fn query(&self, id: StreamId) -> Result<S::Snapshot, FleetError> {
+        self.slots
+            .get(&id)
+            .map(|slot| slot.session.snapshot())
+            .ok_or(FleetError::UnknownStream { id })
+    }
+
+    /// Flushes stream `id`, drains its pending work, and returns its
+    /// exact report — bit-identical to a standalone session fed the
+    /// same schedule (the fleet-level parity contract).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownStream`] when `id` is not live.
+    pub fn finish(&mut self, id: StreamId) -> Result<S::Report, FleetError> {
+        self.flush(id)?;
+        let slot = self.slots.get_mut(&id).expect("flush checked liveness");
+        let report = slot.session.finish();
+        if slot.dirty {
+            slot.dirty = false;
+            self.rotation.retain(|&r| r != id);
+        }
+        Ok(report)
+    }
+
+    /// Streams currently in the refresh rotation.
+    pub fn dirty_count(&self) -> usize {
+        self.rotation.len()
+    }
+
+    /// Total pending refresh units across all streams (flushed work
+    /// only).
+    pub fn pending_units(&self) -> usize {
+        self.order
+            .iter()
+            .map(|id| self.slots[id].session.pending_units())
+            .sum()
+    }
+
+    /// Runs refresh units round-robin across the dirty streams until
+    /// `deadline` expires or no stream is dirty; returns the units
+    /// run. See the [module docs](self) for the fair-share guarantee:
+    /// one unit per dirty stream per rotation, deadline checked before
+    /// each unit.
+    pub fn refresh(&mut self, deadline: Deadline) -> usize {
+        let mut units = 0;
+        while !deadline.expired(units) {
+            let Some(id) = self.rotation.pop_front() else {
+                break;
+            };
+            let slot = self.slots.get_mut(&id).expect("rotation holds live ids");
+            if slot.session.step() {
+                units += 1;
+            }
+            if slot.session.pending_units() > 0 {
+                self.rotation.push_back(id);
+            } else {
+                slot.dirty = false;
+            }
+        }
+        units
+    }
+
+    /// One serving tick: flush every stream's ingest buffer (one
+    /// coalesced append per stream), then spread `deadline` across the
+    /// dirty streams via [`refresh`](Self::refresh).
+    pub fn tick(&mut self, deadline: Deadline) -> TickReport {
+        let flushed_points = self.flush_all();
+        let units = self.refresh(deadline);
+        TickReport {
+            flushed_points,
+            units,
+        }
+    }
+}
+
+impl<S: StreamSession> Fleet<S> {
+    /// Re-derives a stream's rotation membership after an operation
+    /// that may have created or drained pending work.
+    fn sync_rotation(rotation: &mut VecDeque<StreamId>, id: StreamId, slot: &mut Slot<S>) {
+        let pending = slot.session.pending_units() > 0;
+        if pending && !slot.dirty {
+            slot.dirty = true;
+            rotation.push_back(id);
+        } else if !pending && slot.dirty {
+            slot.dirty = false;
+            rotation.retain(|&r| r != id);
+        }
+    }
+}
+
+impl<S: StreamSession + Send> Fleet<S> {
+    /// Flushes every buffer, drains every stream's pending work — fanned
+    /// across rayon workers, sessions being independent — and returns
+    /// `(id, report)` pairs in creation order. Each stream's steps run
+    /// sequentially inside one task, so reports are **bit-identical**
+    /// to [`finish`](Self::finish)-ing each stream serially, for every
+    /// worker count (property-tested).
+    pub fn finish_all(&mut self) -> Vec<(StreamId, S::Report)> {
+        self.flush_all();
+        let mut dirty: Vec<&mut Slot<S>> = self.slots.values_mut().filter(|s| s.dirty).collect();
+        dirty
+            .par_iter_mut()
+            .for_each(|slot| while slot.session.step() {});
+        self.rotation.clear();
+        self.order
+            .iter()
+            .map(|&id| {
+                let slot = self.slots.get_mut(&id).expect("order holds live ids");
+                slot.dirty = false;
+                (id, slot.session.finish())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egi_tskit::evict::validate_evict;
+
+    /// A deterministic mock session: one pending unit per appended
+    /// point, the "answer" is the number of units performed, and every
+    /// `append` call is logged so coalescing is observable.
+    #[derive(Debug, Default)]
+    struct MockSession {
+        live: Vec<f64>,
+        cursor: usize,
+        offset: usize,
+        retention: Option<usize>,
+        /// Length of every `append` call, in order.
+        appends: Vec<usize>,
+    }
+
+    impl MockSession {
+        fn with_pending(units: usize) -> Self {
+            let mut s = Self::default();
+            StreamSession::append(&mut s, &vec![0.5; units]);
+            s
+        }
+    }
+
+    impl StreamSession for MockSession {
+        type Snapshot = usize;
+        type Report = usize;
+
+        fn append(&mut self, points: &[f64]) {
+            self.appends.push(points.len());
+            self.live.extend_from_slice(points);
+            if let Some(n) = self.retention {
+                let excess = self.live.len().saturating_sub(n);
+                if excess > 0 {
+                    self.evict(excess).expect("retention trim");
+                }
+            }
+        }
+
+        fn step(&mut self) -> bool {
+            if self.cursor == self.live.len() {
+                return false;
+            }
+            self.cursor += 1;
+            true
+        }
+
+        fn evict(&mut self, count: usize) -> Result<(), EvictError> {
+            validate_evict(self.live.len(), count, 1)?;
+            self.offset += count;
+            self.live.drain(..count);
+            self.cursor = 0;
+            Ok(())
+        }
+
+        fn retain_last(&mut self, n: usize) -> Result<usize, EvictError> {
+            self.retention = Some(n);
+            let excess = self.live.len().saturating_sub(n);
+            if excess > 0 {
+                self.evict(excess)?;
+            }
+            Ok(excess)
+        }
+
+        fn series_len(&self) -> usize {
+            self.live.len()
+        }
+
+        fn pending_units(&self) -> usize {
+            self.live.len() - self.cursor
+        }
+
+        fn stream_offset(&self) -> usize {
+            self.offset
+        }
+
+        fn is_current(&self) -> bool {
+            self.pending_units() == 0
+        }
+
+        fn snapshot(&self) -> usize {
+            self.cursor
+        }
+
+        fn finish(&mut self) -> usize {
+            while self.step() {}
+            self.snapshot()
+        }
+    }
+
+    fn fleet_of(n: u64, units_each: usize) -> Fleet<MockSession> {
+        let mut fleet = Fleet::new();
+        for id in 0..n {
+            fleet
+                .create(id, MockSession::with_pending(units_each))
+                .unwrap();
+        }
+        fleet
+    }
+
+    #[test]
+    fn create_rejects_duplicates_and_remove_unknown_errors() {
+        let mut fleet: Fleet<MockSession> = Fleet::new();
+        assert!(fleet.is_empty());
+        fleet.create(7, MockSession::default()).unwrap();
+        assert_eq!(
+            fleet.create(7, MockSession::default()),
+            Err(FleetError::DuplicateStream { id: 7 })
+        );
+        assert_eq!(fleet.len(), 1);
+        assert_eq!(
+            fleet.remove(8).unwrap_err(),
+            FleetError::UnknownStream { id: 8 }
+        );
+        fleet.remove(7).unwrap();
+        assert!(fleet.is_empty());
+        assert_eq!(fleet.query(7), Err(FleetError::UnknownStream { id: 7 }));
+    }
+
+    #[test]
+    fn sessions_with_pending_work_enter_the_rotation_on_create() {
+        let mut fleet: Fleet<MockSession> = Fleet::new();
+        fleet.create(0, MockSession::default()).unwrap();
+        fleet.create(1, MockSession::with_pending(4)).unwrap();
+        assert_eq!(fleet.dirty_count(), 1);
+        assert_eq!(fleet.pending_units(), 4);
+        assert_eq!(fleet.refresh(Deadline::unbounded()), 4);
+        assert_eq!(fleet.dirty_count(), 0);
+    }
+
+    #[test]
+    fn ingest_coalesces_into_one_append_per_tick() {
+        let mut fleet: Fleet<MockSession> = Fleet::new();
+        fleet.create(0, MockSession::default()).unwrap();
+        for _ in 0..10 {
+            fleet.ingest(0, &[1.0]).unwrap();
+        }
+        assert_eq!(fleet.buffered(), 10);
+        assert_eq!(fleet.buffered_for(0), Ok(10));
+        // The session has seen nothing yet…
+        assert!(fleet.session(0).unwrap().appends.is_empty());
+        let report = fleet.tick(Deadline::unbounded());
+        assert_eq!(
+            report,
+            TickReport {
+                flushed_points: 10,
+                units: 10
+            }
+        );
+        // …and the 10 dribbles arrived as ONE append.
+        assert_eq!(fleet.session(0).unwrap().appends, vec![10]);
+        assert_eq!(fleet.buffered(), 0);
+        // An empty tick flushes and runs nothing.
+        assert_eq!(fleet.tick(Deadline::unbounded()), TickReport::default());
+    }
+
+    #[test]
+    fn fair_share_splits_a_unit_budget_evenly() {
+        // 4 streams × 10 pending units, budget 10: round-robin gives
+        // ⌈10/4⌉ = 3 to the first two streams, ⌊10/4⌋ = 2 to the rest.
+        let mut fleet = fleet_of(4, 10);
+        assert_eq!(fleet.refresh(Deadline::queries(10)), 10);
+        let served: Vec<usize> = (0..4).map(|id| fleet.query(id).unwrap()).collect();
+        assert_eq!(served, vec![3, 3, 2, 2]);
+        // Every dirty stream got at least one unit per full rotation.
+        assert!(served.iter().all(|&s| s >= 10 / 4));
+        assert_eq!(
+            served.iter().max().unwrap() - served.iter().min().unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn fair_share_survives_streams_draining_mid_pass() {
+        // Stream 1 has far less work; once it drains, its slot in the
+        // rotation disappears and the remaining budget flows on.
+        let mut fleet: Fleet<MockSession> = Fleet::new();
+        fleet.create(0, MockSession::with_pending(100)).unwrap();
+        fleet.create(1, MockSession::with_pending(2)).unwrap();
+        fleet.create(2, MockSession::with_pending(100)).unwrap();
+        assert_eq!(fleet.refresh(Deadline::queries(32)), 32);
+        assert_eq!(fleet.query(1).unwrap(), 2, "small stream fully drained");
+        // The other 30 units split evenly across the two big streams.
+        assert_eq!(fleet.query(0).unwrap(), 15);
+        assert_eq!(fleet.query(2).unwrap(), 15);
+        assert_eq!(fleet.dirty_count(), 2);
+    }
+
+    #[test]
+    fn refresh_respects_an_expired_deadline_and_stops_when_clean() {
+        let mut fleet = fleet_of(3, 2);
+        assert_eq!(fleet.refresh(Deadline::queries(0)), 0);
+        assert_eq!(fleet.pending_units(), 6);
+        assert_eq!(fleet.refresh(Deadline::unbounded()), 6);
+        assert_eq!(fleet.dirty_count(), 0);
+        assert_eq!(fleet.refresh(Deadline::unbounded()), 0);
+    }
+
+    #[test]
+    fn invalid_eviction_is_atomic_and_does_not_poison_the_fleet() {
+        let mut fleet = fleet_of(2, 5);
+        fleet.ingest(0, &[9.0; 3]).unwrap();
+        // Reaching past the stream is rejected by the session; the
+        // fleet reports it with the stream id attached. Note the inbox
+        // was flushed first (call-order semantics), so the stream now
+        // holds 8 points.
+        assert_eq!(
+            fleet.evict_from(0, 100),
+            Err(FleetError::Evict {
+                id: 0,
+                error: EvictError::PastEnd {
+                    requested: 100,
+                    available: 8
+                }
+            })
+        );
+        // Nothing moved: both streams still schedule and finish.
+        assert_eq!(fleet.session(0).unwrap().series_len(), 8);
+        assert_eq!(fleet.session(0).unwrap().stream_offset(), 0);
+        assert_eq!(fleet.refresh(Deadline::unbounded()), 8 + 5);
+        assert_eq!(fleet.finish(0).unwrap(), 8);
+        assert_eq!(fleet.finish(1).unwrap(), 5);
+    }
+
+    #[test]
+    fn evict_and_retain_flush_first_so_operations_apply_in_call_order() {
+        let mut fleet: Fleet<MockSession> = Fleet::new();
+        fleet.create(0, MockSession::default()).unwrap();
+        fleet.ingest(0, &[1.0; 6]).unwrap();
+        fleet.evict_from(0, 4).unwrap();
+        assert_eq!(fleet.session(0).unwrap().series_len(), 2);
+        assert_eq!(fleet.session(0).unwrap().stream_offset(), 4);
+        fleet.ingest(0, &[2.0; 7]).unwrap();
+        assert_eq!(fleet.retain_last(0, 3), Ok(6));
+        assert_eq!(fleet.session(0).unwrap().series_len(), 3);
+    }
+
+    #[test]
+    fn remove_mid_rotation_keeps_the_scheduler_consistent() {
+        let mut fleet = fleet_of(3, 4);
+        assert_eq!(fleet.refresh(Deadline::queries(2)), 2);
+        let removed = fleet.remove(0).unwrap();
+        assert_eq!(removed.pending_units(), 3);
+        assert_eq!(fleet.dirty_count(), 2);
+        // The survivors split the whole remaining budget.
+        assert_eq!(fleet.refresh(Deadline::unbounded()), 4 + 3);
+        assert_eq!(fleet.dirty_count(), 0);
+    }
+
+    #[test]
+    fn finish_all_reports_in_creation_order() {
+        let mut fleet: Fleet<MockSession> = Fleet::new();
+        for (id, units) in [(9u64, 3usize), (2, 5), (5, 1)] {
+            fleet.create(id, MockSession::with_pending(units)).unwrap();
+        }
+        fleet.ingest(5, &[0.0; 2]).unwrap();
+        let reports = fleet.finish_all();
+        assert_eq!(reports, vec![(9, 3), (2, 5), (5, 3)]);
+        assert_eq!(fleet.dirty_count(), 0);
+        assert_eq!(fleet.pending_units(), 0);
+    }
+
+    #[test]
+    fn fleet_error_display_names_the_stream() {
+        let e = FleetError::Evict {
+            id: 3,
+            error: EvictError::BelowMinimum {
+                remaining: 2,
+                minimum: 8,
+            },
+        };
+        assert!(e.to_string().contains("stream 3"), "{e}");
+        assert!(FleetError::UnknownStream { id: 11 }
+            .to_string()
+            .contains("11"));
+        assert!(FleetError::DuplicateStream { id: 4 }
+            .to_string()
+            .contains('4'));
+    }
+}

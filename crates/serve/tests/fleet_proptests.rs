@@ -1,0 +1,397 @@
+//! Property harness for the fleet runtime (the PR 7 parity-one-level-up
+//! contract).
+//!
+//! Random multi-stream schedules — create / ingest / append / evict /
+//! budgeted refresh interleavings — are driven against per-stream
+//! *shadow monitors* fed the same logical schedule standalone. For
+//! every seed, chunk size, stream count, and worker count:
+//!
+//! * each stream's [`Fleet::finish`] is **bit-identical** to its shadow
+//!   (and, transitively, to batch [`stamp_with_exclusion`] /
+//!   [`EnsembleDetector::detect`] over the surviving suffix);
+//! * the fair-share scheduler's starvation bound is observed — every
+//!   dirty stream receives ⌊U/d⌋..⌈U/d⌉ units from a `U`-unit budget
+//!   over `d` equally-loaded dirty streams;
+//! * invalid evictions are rejected atomically, naming the stream,
+//!   without poisoning the fleet or perturbing any other stream.
+
+use egi_core::{EnsembleConfig, EnsembleDetector, StreamingEnsembleDetector};
+use egi_discord::stamp::stamp_with_exclusion;
+use egi_discord::streaming::{StreamSession, StreamingDiscordMonitor};
+use egi_serve::{Fleet, FleetError, StreamId};
+use egi_tskit::evict::EvictError;
+use egi_tskit::Deadline;
+use proptest::prelude::*;
+
+/// Deterministic unbounded per-stream source: the value of stream `id`
+/// at its global position `i`. Distinct phase and drift per stream so
+/// cross-stream state leaks would break parity immediately.
+fn point(id: StreamId, i: usize) -> f64 {
+    let t = i as f64;
+    let phase = id as f64 * 0.73;
+    (t * 0.17 + phase).sin() * 1.3
+        + 0.5 * (t * 0.031).cos()
+        + ((i * 23 + id as usize * 7) % 11) as f64 * 0.05
+}
+
+/// Picks a *valid* eviction count for a stream of `live` points under
+/// minimum window `m` (see the discord eviction harness).
+fn choose_evict(live: usize, m: usize, amount: usize) -> usize {
+    if live == 0 {
+        return 0;
+    }
+    if amount.is_multiple_of(5) {
+        return live;
+    }
+    if live < m {
+        return 0;
+    }
+    (amount * live / 40).min(live - m)
+}
+
+/// Per-stream shadow bookkeeping: the standalone monitor fed the same
+/// logical schedule, plus the global cursor / offset that name the
+/// surviving suffix.
+struct Shadow {
+    monitor: StreamingDiscordMonitor,
+    appended: usize,
+    offset: usize,
+    /// Points handed to `Fleet::ingest` but not yet flushed — the
+    /// shadow defers them the same way the fleet's inbox does.
+    inbox: Vec<f64>,
+}
+
+impl Shadow {
+    fn flush(&mut self) {
+        if !self.inbox.is_empty() {
+            self.monitor.append(&self.inbox);
+            self.inbox.clear();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole acceptance property: random multi-stream schedules
+    /// of buffered ingest, direct appends, evictions, and budgeted
+    /// refreshes leave every stream's `finish` bit-identical to a
+    /// standalone monitor fed the same schedule, and to batch STAMP
+    /// over the surviving suffix.
+    #[test]
+    fn multi_stream_schedules_match_shadow_monitors(
+        streams in 2u64..5,
+        m in 4usize..10,
+        seed in 0u64..1_000_000_000,
+        ops in prop::collection::vec(
+            (0u64..4, 0usize..10, 1usize..33),
+            4..20,
+        ),
+    ) {
+        let exc = m / 2;
+        let mut fleet: Fleet<StreamingDiscordMonitor> = Fleet::new();
+        let mut shadows: Vec<Shadow> = Vec::new();
+        for id in 0..streams {
+            fleet
+                .create(id, StreamingDiscordMonitor::with_seed(m, exc, seed))
+                .unwrap();
+            shadows.push(Shadow {
+                monitor: StreamingDiscordMonitor::with_seed(m, exc, seed),
+                appended: 0,
+                offset: 0,
+                inbox: Vec::new(),
+            });
+        }
+        for &(who, kind, amount) in &ops {
+            let id = who % streams;
+            // A full tick flushes every stream's inbox on both sides.
+            if kind == 9 {
+                for s in shadows.iter_mut() {
+                    s.flush();
+                }
+                fleet.tick(Deadline::queries(amount));
+            }
+            let shadow = &mut shadows[id as usize];
+            match kind {
+                // Buffered dribbles through the front door: the fleet
+                // coalesces them, the shadow holds them in its own
+                // inbox until the same flush point.
+                0..=2 => {
+                    for j in 0..amount {
+                        let x = point(id, shadow.appended + j);
+                        fleet.ingest(id, &[x]).unwrap();
+                        shadow.inbox.push(x);
+                    }
+                    shadow.appended += amount;
+                }
+                // Direct append: flushes the inbox first on both sides.
+                3..=4 => {
+                    let chunk: Vec<f64> = (0..amount)
+                        .map(|j| point(id, shadow.appended + j))
+                        .collect();
+                    fleet.append_to(id, &chunk).unwrap();
+                    shadow.flush();
+                    shadow.monitor.append(&chunk);
+                    shadow.appended += amount;
+                }
+                // Eviction: call-order semantics flush the inbox first,
+                // so the valid cut is chosen from the flushed length.
+                5..=6 => {
+                    shadow.flush();
+                    let c = choose_evict(shadow.monitor.series_len(), m, amount);
+                    fleet.evict_from(id, c).unwrap();
+                    shadow.monitor.evict(c).unwrap();
+                    shadow.offset += c;
+                }
+                // Budgeted refresh across every dirty stream. The
+                // shadows don't step — `finish` parity can't depend on
+                // how much incremental work already happened.
+                7..=8 => {
+                    fleet.refresh(Deadline::queries(amount));
+                }
+                // Full tick: handled above, before borrowing one shadow.
+                _ => {}
+            }
+            // The fleet's flushed view agrees with the shadow's.
+            let session = fleet.session(id).unwrap();
+            let flushed = shadow.appended - shadow.offset - shadow.inbox.len();
+            prop_assert_eq!(session.series_len(), flushed);
+            prop_assert_eq!(session.stream_offset(), shadow.offset);
+            prop_assert_eq!(fleet.buffered_for(id).unwrap(), shadow.inbox.len());
+        }
+        // Every stream finishes bit-identical to its shadow AND to the
+        // batch profile of the surviving suffix.
+        for (id, shadow) in shadows.iter_mut().enumerate() {
+            let id = id as StreamId;
+            let finished = fleet.finish(id).unwrap();
+            shadow.flush();
+            let reference = shadow.monitor.finish();
+            prop_assert_eq!(&finished.profile, &reference.profile);
+            prop_assert_eq!(&finished.index, &reference.index);
+            let suffix: Vec<f64> =
+                (shadow.offset..shadow.appended).map(|i| point(id, i)).collect();
+            if suffix.len() >= m {
+                let batch = stamp_with_exclusion(&suffix, m, exc);
+                prop_assert_eq!(&finished.profile, &batch.profile);
+                prop_assert_eq!(&finished.index, &batch.index);
+            } else {
+                prop_assert!(finished.is_empty());
+            }
+        }
+    }
+
+    /// The starvation bound, observed: over `d` equally-loaded dirty
+    /// streams, a `U`-unit refresh gives every stream ⌊U/d⌋..⌈U/d⌉
+    /// units — in particular ≥ 1 whenever U ≥ d.
+    #[test]
+    fn fair_share_starvation_bound_is_observed(
+        streams in 2u64..9,
+        m in 4usize..9,
+        extra in 8usize..40,
+        budget_per in 1usize..12,
+    ) {
+        let len = m + extra; // pending units per stream = extra + 1
+        let pending_each = len - m + 1;
+        let mut fleet: Fleet<StreamingDiscordMonitor> = Fleet::new();
+        for id in 0..streams {
+            let series: Vec<f64> = (0..len).map(|i| point(id, i)).collect();
+            let mut monitor = StreamingDiscordMonitor::new(m);
+            monitor.append(&series);
+            fleet.create(id, monitor).unwrap();
+        }
+        let d = streams as usize;
+        prop_assert_eq!(fleet.dirty_count(), d);
+        let budget = (budget_per * d).min(pending_each * d);
+        let ran = fleet.refresh(Deadline::queries(budget));
+        prop_assert_eq!(ran, budget);
+        let served: Vec<usize> = (0..streams)
+            .map(|id| pending_each - fleet.session(id).unwrap().pending_units())
+            .collect();
+        let floor = budget / d;
+        let ceil = budget.div_ceil(d);
+        for (id, &s) in served.iter().enumerate() {
+            prop_assert!(
+                (floor..=ceil).contains(&s),
+                "stream {} served {} units, bound is {}..={}",
+                id, s, floor, ceil
+            );
+        }
+        prop_assert_eq!(served.iter().sum::<usize>(), budget);
+    }
+
+    /// Invalid evictions are rejected atomically with the stream id
+    /// attached: the target stream is untouched, every other stream is
+    /// oblivious, and the whole fleet still finishes on parity.
+    #[test]
+    fn invalid_evictions_do_not_poison_the_fleet(
+        streams in 2u64..5,
+        m in 4usize..9,
+        len in 12usize..60,
+        over in 1usize..25,
+        budget in 0usize..40,
+    ) {
+        let mut fleet: Fleet<StreamingDiscordMonitor> = Fleet::new();
+        for id in 0..streams {
+            let series: Vec<f64> = (0..len).map(|i| point(id, i)).collect();
+            let mut monitor = StreamingDiscordMonitor::new(m);
+            monitor.append(&series);
+            fleet.create(id, monitor).unwrap();
+        }
+        fleet.refresh(Deadline::queries(budget));
+        let victim = streams - 1;
+        let before: Vec<usize> = (0..streams)
+            .map(|id| fleet.session(id).unwrap().pending_units())
+            .collect();
+
+        // Past the end of the victim stream.
+        prop_assert_eq!(
+            fleet.evict_from(victim, len + over),
+            Err(FleetError::Evict {
+                id: victim,
+                error: EvictError::PastEnd { requested: len + over, available: len },
+            })
+        );
+        // Leaving a non-empty suffix shorter than m.
+        if len > m {
+            let c = len - (m - 1).max(1);
+            prop_assert_eq!(
+                fleet.evict_from(victim, c),
+                Err(FleetError::Evict {
+                    id: victim,
+                    error: EvictError::BelowMinimum {
+                        remaining: len - c,
+                        minimum: m,
+                    },
+                })
+            );
+        }
+        // Unknown stream: the fleet itself rejects before any session
+        // is touched.
+        prop_assert_eq!(
+            fleet.evict_from(streams, 1),
+            Err(FleetError::UnknownStream { id: streams })
+        );
+
+        // Nothing moved, nothing was poisoned: pending work, lengths,
+        // and final profiles are exactly the no-error outcome.
+        for id in 0..streams {
+            let session = fleet.session(id).unwrap();
+            prop_assert_eq!(session.series_len(), len);
+            prop_assert_eq!(session.stream_offset(), 0);
+            prop_assert_eq!(session.pending_units(), before[id as usize]);
+        }
+        for id in 0..streams {
+            let finished = fleet.finish(id).unwrap();
+            let series: Vec<f64> = (0..len).map(|i| point(id, i)).collect();
+            if len >= m {
+                let batch = stamp_with_exclusion(&series, m, m / 2);
+                prop_assert_eq!(&finished.profile, &batch.profile);
+                prop_assert_eq!(&finished.index, &batch.index);
+            }
+        }
+    }
+
+    /// `finish_all` catch-up parity across rayon worker counts, with
+    /// the ensemble detector as the session type: per-stream reports
+    /// stay bit-identical to standalone shadows for every thread count.
+    #[test]
+    fn finish_all_is_bit_identical_across_worker_counts(
+        streams in 2u64..5,
+        window in 8usize..16,
+        members in 3usize..6,
+        seed in 0u64..1_000_000_000,
+        chunk in 1usize..30,
+        threads in 2usize..9,
+    ) {
+        let cfg = EnsembleConfig {
+            window,
+            ensemble_size: members,
+            parallel: true,
+            ..EnsembleConfig::default()
+        };
+        let total = window * 6;
+        let mut fleet: Fleet<StreamingEnsembleDetector> = Fleet::new();
+        for id in 0..streams {
+            fleet
+                .create(id, StreamingEnsembleDetector::new(cfg, seed))
+                .unwrap();
+            let series: Vec<f64> = (0..total).map(|i| point(id, i)).collect();
+            for part in series.chunks(chunk) {
+                fleet.ingest(id, part).unwrap();
+            }
+        }
+        // Partial progress under a shared budget, then parallel
+        // catch-up inside a pool of the given size.
+        fleet.tick(Deadline::queries(streams as usize * 2));
+        let reports = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| fleet.finish_all());
+        prop_assert_eq!(reports.len(), streams as usize);
+        for (id, report) in reports {
+            let series: Vec<f64> = (0..total).map(|i| point(id, i)).collect();
+            let mut shadow = StreamingEnsembleDetector::new(cfg, seed);
+            shadow.append(&series);
+            let reference = StreamSession::finish(&mut shadow);
+            prop_assert_eq!(&report, &reference);
+            // And transitively: the trait-level finish reports every
+            // non-overlapping candidate, same as batch detect at the
+            // same k.
+            let k = reference.anomalies.len();
+            let batch = EnsembleDetector::new(cfg).detect(&series, k, seed);
+            prop_assert_eq!(&report.anomalies, &batch.anomalies);
+        }
+    }
+}
+
+/// The ISSUE acceptance criterion at scale: one global deadline spread
+/// across **1,000 dirty streams** with the starvation bound proven —
+/// every stream receives ⌊U/1000⌋..⌈U/1000⌉ units, none starves — and
+/// per-stream finish still lands bit-identical to batch STAMP.
+#[test]
+fn fair_share_spreads_one_deadline_across_1000_dirty_streams() {
+    let m = 8usize;
+    let len = 48usize; // 41 pending query units per stream
+    let streams = 1_000u64;
+    let pending_each = len - m + 1;
+    let mut fleet: Fleet<StreamingDiscordMonitor> = Fleet::new();
+    for id in 0..streams {
+        let series: Vec<f64> = (0..len).map(|i| point(id, i)).collect();
+        let mut monitor = StreamingDiscordMonitor::new(m);
+        monitor.append(&series);
+        fleet.create(id, monitor).unwrap();
+    }
+    assert_eq!(fleet.dirty_count(), 1_000);
+    assert_eq!(fleet.pending_units(), 1_000 * pending_each);
+
+    // A budget that doesn't divide evenly: 2,500 units over 1,000
+    // streams ⇒ exactly 500 streams get 3 units and 500 get 2.
+    let budget = 2_500usize;
+    let ran = fleet.refresh(Deadline::queries(budget));
+    assert_eq!(ran, budget);
+    let mut floor_count = 0usize;
+    let mut ceil_count = 0usize;
+    for id in 0..streams {
+        let served = pending_each - fleet.session(id).unwrap().pending_units();
+        assert!(served >= 1, "stream {id} starved");
+        match served {
+            2 => floor_count += 1,
+            3 => ceil_count += 1,
+            s => panic!("stream {id} served {s} units, bound is 2..=3"),
+        }
+    }
+    assert_eq!((floor_count, ceil_count), (500, 500));
+    assert_eq!(fleet.dirty_count(), 1_000, "all streams still have work");
+
+    // Catch-up, then spot-check parity across the fleet.
+    let reports = fleet.finish_all();
+    assert_eq!(reports.len(), 1_000);
+    assert_eq!(fleet.pending_units(), 0);
+    for (id, profile) in reports.into_iter().step_by(97) {
+        let series: Vec<f64> = (0..len).map(|i| point(id, i)).collect();
+        let reference = stamp_with_exclusion(&series, m, m / 2);
+        assert_eq!(profile.profile, reference.profile, "stream {id}");
+        assert_eq!(profile.index, reference.index, "stream {id}");
+    }
+}

@@ -15,6 +15,11 @@
 //! * [`evict`] — the shared sliding-window eviction contract
 //!   ([`EvictError`] + the boundary rule) both streaming subsystems
 //!   apply when retiring old points.
+//! * [`session`] — the [`StreamSession`] trait every online monitor
+//!   implements (append/step/evict lifecycle, budgeted drivers
+//!   provided once over `step`) plus the [`StreamClock`]
+//!   epoch/offset/retention bookkeeping; the contract the `egi-serve`
+//!   fleet runtime schedules against.
 //! * [`gen`] — synthetic data generators: random walks, periodic signals,
 //!   ECG/EEG-like traces, appliance power-usage cycles, and six UCR-style
 //!   dataset families used by the paper's evaluation (Section 7.1.1).
@@ -35,6 +40,7 @@ pub mod evict;
 pub mod gen;
 pub mod io;
 pub mod series;
+pub mod session;
 pub mod stats;
 pub mod window;
 
@@ -42,5 +48,6 @@ pub use corpus::{CorpusSpec, LabeledSeries};
 pub use deadline::Deadline;
 pub use evict::EvictError;
 pub use series::TimeSeries;
+pub use session::{StreamClock, StreamSession};
 pub use stats::{mean, stddev, znormalize, znormalize_into, PrefixStats};
 pub use window::{sliding_windows, SlidingWindows};

@@ -212,6 +212,15 @@ impl PrefixStats {
         self.extend(suffix);
     }
 
+    /// Releases slack capacity left behind by
+    /// [`rebase`](PrefixStats::rebase) (which truncates lengths but
+    /// keeps allocations for reuse) — the statistics layer of the
+    /// streaming monitors' `compact`. Values are untouched.
+    pub fn shrink_to_fit(&mut self) {
+        self.sum.shrink_to_fit();
+        self.sum_sq.shrink_to_fit();
+    }
+
     /// Length of the underlying series.
     pub fn len(&self) -> usize {
         self.sum.len() - 1

@@ -34,6 +34,7 @@
 //! | [`sequitur`] | `egi-sequitur` | linear-time grammar induction |
 //! | [`core`] | `egi-core` | rule density curves, single & ensemble detectors |
 //! | [`discord`] | `egi-discord` | FFT plans + shared-spectrum MASS, matrix profile (diagonal-parallel STOMP, STAMP), HOTSAX |
+//! | [`serve`] | `egi-serve` | multi-stream fleet runtime: batched ingest, fair-share refresh over [`StreamSession`](tskit::session::StreamSession) monitors |
 //! | [`eval`] | `egi-eval` | metrics and the experiment harness for every table/figure |
 
 pub use egi_core as core;
@@ -41,6 +42,7 @@ pub use egi_discord as discord;
 pub use egi_eval as eval;
 pub use egi_sax as sax;
 pub use egi_sequitur as sequitur;
+pub use egi_serve as serve;
 pub use egi_tskit as tskit;
 
 /// Convenient glob-import surface for applications.
@@ -54,6 +56,7 @@ pub mod prelude {
     };
     pub use egi_sax::{NumerosityReduced, SaxConfig, SaxWord};
     pub use egi_sequitur::{Grammar, Sequitur};
+    pub use egi_serve::{Fleet, FleetError};
     pub use egi_tskit::gen::UcrFamily;
     pub use egi_tskit::{CorpusSpec, LabeledSeries, TimeSeries};
 }
