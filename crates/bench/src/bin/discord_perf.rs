@@ -36,6 +36,11 @@
 //!   latency (mean and p99) and sustained fleet-wide points/s, with
 //!   every stream's catch-up profile asserted bit-identical to batch
 //!   STAMP over its own series;
+//! * **Checkpoint** — the snapshot/restore subsystem: checkpoint size
+//!   and save/load latency for one mid-stream session per kind (monitor
+//!   on both MASS backends, streaming ensemble, 100-stream fleet), with
+//!   every reload asserted onto the bit-identical finish of the session
+//!   it was saved from;
 //! * **Ensemble** — `EnsembleDetector::detect`, serial vs parallel.
 //!
 //! Writes `BENCH_discord.json` into the current directory (override with
@@ -54,6 +59,7 @@ use egi_discord::stamp::{stamp_per_query_fft, stamp_with_exclusion};
 use egi_discord::stomp::stomp_with_exclusion;
 use egi_discord::streaming::{StreamingDiscordMonitor, DEFAULT_MONITOR_SEED};
 use egi_serve::Fleet;
+use egi_tskit::checkpoint::Checkpoint;
 use egi_tskit::Deadline;
 
 fn seconds<R>(f: impl FnOnce() -> R) -> (f64, R) {
@@ -706,6 +712,109 @@ fn main() {
         ));
     }
 
+    // Checkpoint: persistence cost of the snapshot/restore subsystem.
+    // One mid-stream session per kind — monitor on both MASS backends,
+    // the streaming ensemble, and a 100-stream fleet — saved and
+    // reloaded once, recording checkpoint size and save/load latency.
+    // Every reload is asserted onto the bit-identical finish of the
+    // session it was saved from (the checkpoint-at-any-point contract),
+    // so the CI perf smoke fails on any persistence divergence.
+    let mut checkpoint_rows = Vec::new();
+    for backend in [MassBackend::Exact, MassBackend::Segmented] {
+        let label = match backend {
+            MassBackend::Exact => "monitor_exact",
+            MassBackend::Segmented => "monitor_segmented",
+        };
+        let mut monitor =
+            StreamingDiscordMonitor::with_backend(m, exclusion, DEFAULT_MONITOR_SEED, backend);
+        monitor.append(&series[..warm]);
+        monitor.run_for(warm / 2);
+        monitor.append(&series[warm..]);
+        let (save_secs, bytes) = seconds(|| monitor.checkpoint_bytes().unwrap());
+        let (load_secs, restored) =
+            seconds(|| StreamingDiscordMonitor::from_checkpoint_bytes(&bytes).unwrap());
+        let mut restored = restored;
+        let original = monitor.finish();
+        let resumed = restored.finish();
+        assert_eq!(
+            resumed.profile, original.profile,
+            "{label}: restored session deviates from the one it was saved from"
+        );
+        assert_eq!(resumed.index, original.index);
+        eprintln!(
+            "CKPT   {label:>17}: {} pts -> {} bytes, save {save_secs:.5}s, load {load_secs:.5}s",
+            series_len,
+            bytes.len()
+        );
+        checkpoint_rows.push(format!(
+            "    {{ \"kind\": \"{label}\", \"state_points\": {series_len}, \
+             \"bytes\": {}, \"save_secs\": {save_secs:.6}, \"load_secs\": {load_secs:.6} }}",
+            bytes.len()
+        ));
+    }
+    {
+        let mut detector = StreamingEnsembleDetector::new(es_config, es_seed);
+        detector.append(&series[..warm]);
+        detector.run_for(es_members / 2);
+        let (save_secs, bytes) = seconds(|| detector.checkpoint_bytes().unwrap());
+        let (load_secs, restored) =
+            seconds(|| StreamingEnsembleDetector::from_checkpoint_bytes(&bytes).unwrap());
+        let mut restored = restored;
+        assert_eq!(
+            restored.finish(3),
+            detector.finish(3),
+            "ensemble: restored session deviates from the one it was saved from"
+        );
+        eprintln!(
+            "CKPT   {:>17}: {warm} pts -> {} bytes, save {save_secs:.5}s, load {load_secs:.5}s",
+            "ensemble",
+            bytes.len()
+        );
+        checkpoint_rows.push(format!(
+            "    {{ \"kind\": \"ensemble\", \"state_points\": {warm}, \
+             \"bytes\": {}, \"save_secs\": {save_secs:.6}, \"load_secs\": {load_secs:.6} }}",
+            bytes.len()
+        ));
+    }
+    {
+        let ckpt_streams = 100u64;
+        let mut fleet: Fleet<StreamingDiscordMonitor> = Fleet::new();
+        for id in 0..ckpt_streams {
+            let warm_series: Vec<f64> = (0..fleet_warm).map(|i| serve_point(id, i)).collect();
+            let mut monitor = StreamingDiscordMonitor::with_exclusion(fleet_m, fleet_m / 2);
+            monitor.append(&warm_series);
+            fleet.create(id, monitor).unwrap();
+        }
+        fleet.refresh(Deadline::queries(ckpt_streams as usize * 5));
+        let (save_secs, bytes) = seconds(|| fleet.checkpoint_bytes().unwrap());
+        let (load_secs, restored) =
+            seconds(|| Fleet::<StreamingDiscordMonitor>::from_checkpoint_bytes(&bytes).unwrap());
+        let mut restored = restored;
+        let original = fleet.finish_all();
+        let resumed = restored.finish_all();
+        assert_eq!(resumed.len(), original.len());
+        for ((id_a, fin_a), (id_b, fin_b)) in resumed.iter().zip(&original) {
+            assert_eq!(id_a, id_b);
+            assert_eq!(
+                fin_a.profile, fin_b.profile,
+                "fleet stream {id_a}: restored session deviates from the one it was saved from"
+            );
+            assert_eq!(fin_a.index, fin_b.index);
+        }
+        let state_points = ckpt_streams as usize * fleet_warm;
+        eprintln!(
+            "CKPT   {:>17}: {state_points} pts over {ckpt_streams} streams -> {} bytes, \
+             save {save_secs:.5}s, load {load_secs:.5}s",
+            "fleet_100",
+            bytes.len()
+        );
+        checkpoint_rows.push(format!(
+            "    {{ \"kind\": \"fleet_100\", \"state_points\": {state_points}, \
+             \"bytes\": {}, \"save_secs\": {save_secs:.6}, \"load_secs\": {load_secs:.6} }}",
+            bytes.len()
+        ));
+    }
+
     // Ensemble detection: serial vs parallel members.
     let (ens_len, ens_window, ens_members) = if quick {
         (8_000, 128, 10)
@@ -754,6 +863,7 @@ fn main() {
          \"members\": {es_members},\n    \"seed\": {es_seed},\n    \"warmup_points\": {warm},\n    \
          \"runs\": [\n{es_rows}\n    ]\n  }},\n  \
          \"serve\": {{\n    \"m\": {fleet_m},\n    \"runs\": [\n{serve_rows}\n    ]\n  }},\n  \
+         \"checkpoint\": {{\n    \"runs\": [\n{checkpoint_rows}\n    ]\n  }},\n  \
          \"ensemble\": {{\n    \"series_len\": {ens_len},\n    \"window\": {ens_window},\n    \
          \"members\": {ens_members},\n    \"serial_secs\": {ens_serial_secs:.6},\n    \
          \"parallel_secs\": {ens_parallel_secs:.6}\n  }}\n}}\n",
@@ -770,6 +880,7 @@ fn main() {
         segmented_rows = segmented_rows.join(",\n"),
         es_rows = es_rows.join(",\n"),
         serve_rows = serve_rows.join(",\n"),
+        checkpoint_rows = checkpoint_rows.join(",\n"),
     );
     std::fs::write(&out_path, json).expect("write bench json");
     eprintln!("wrote {out_path}");

@@ -72,6 +72,36 @@ impl OnlineInterner {
     }
 }
 
+impl serde::Serialize for OnlineInterner {
+    fn to_value(&self) -> serde::Value {
+        // Emit (word, id) pairs sorted by id so checkpoints are
+        // byte-deterministic; the table itself is order-insensitive.
+        let mut pairs: Vec<(&SaxWord, u32)> = self.table.iter().map(|(w, &id)| (w, id)).collect();
+        pairs.sort_unstable_by_key(|&(_, id)| id);
+        pairs.to_value()
+    }
+}
+
+impl serde::Deserialize for OnlineInterner {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeserializeError> {
+        let pairs: Vec<(SaxWord, u32)> = serde::Deserialize::from_value(value)?;
+        // Ids are dense and first-seen-ordered by construction; a table
+        // violating that would desynchronize a restored replay.
+        let mut table = HashMap::with_capacity(pairs.len());
+        for (i, (word, id)) in pairs.into_iter().enumerate() {
+            if id as usize != i {
+                return Err(serde::DeserializeError(format!(
+                    "interner ids not dense: expected {i}, found {id}"
+                )));
+            }
+            if table.insert(word, id).is_some() {
+                return Err(serde::DeserializeError("duplicate interned word".into()));
+            }
+        }
+        Ok(OnlineInterner { table })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +134,31 @@ mod tests {
     fn deterministic_across_calls() {
         let nr = nr_from(&[b"aa", b"bb", b"aa", b"cc"]);
         assert_eq!(intern_tokens(&nr), intern_tokens(&nr));
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_assignments() {
+        use serde::{Deserialize, Serialize};
+        let nr = nr_from(&[b"ab", b"cd", b"ab", b"ee", b"cd"]);
+        let mut original = OnlineInterner::new();
+        for t in &nr.tokens {
+            original.intern(&t.word);
+        }
+        let mut restored = OnlineInterner::from_value(&original.to_value()).unwrap();
+        assert_eq!(restored.len(), original.len());
+        // Existing words keep their ids; new words continue the dense
+        // numbering exactly where the original would.
+        assert_eq!(restored.intern(&SaxWord(b"cd".to_vec())), 1);
+        assert_eq!(
+            restored.intern(&SaxWord(b"zz".to_vec())),
+            original.len() as u32
+        );
+
+        // Non-dense ids and duplicate words are rejected.
+        let sparse = vec![(SaxWord(b"a".to_vec()), 0u32), (SaxWord(b"b".to_vec()), 2)];
+        assert!(OnlineInterner::from_value(&sparse.to_value()).is_err());
+        let dup = vec![(SaxWord(b"a".to_vec()), 0u32), (SaxWord(b"a".to_vec()), 1)];
+        assert!(OnlineInterner::from_value(&dup.to_value()).is_err());
     }
 
     #[test]

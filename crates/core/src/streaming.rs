@@ -134,10 +134,18 @@
 //! [`Deadline`]: egi_tskit::Deadline
 
 use std::collections::VecDeque;
+use std::io::{Read, Write};
 
+use egi_sax::breakpoints::{MAX_ALPHABET, MIN_ALPHABET};
 use egi_sax::stream::PaaStream;
 use egi_sax::{MultiResBreakpoints, NumerosityReduced, SaxConfig, SaxWord};
 use egi_sequitur::Sequitur;
+/// The persistence contract implemented by the detector, re-exported
+/// from [`egi_tskit::checkpoint`]: save at any point of an
+/// append/evict/step schedule, restore, replay the rest — the finished
+/// report is bit-identical to the uninterrupted run.
+pub use egi_tskit::checkpoint::{Checkpoint, CheckpointError};
+use egi_tskit::checkpoint::{CheckpointReader, CheckpointWriter, FieldReader, FieldWriter};
 use egi_tskit::evict::{validate_evict, EvictError};
 use egi_tskit::session::StreamClock;
 /// The shared session contract (and its budgeted drivers), re-exported
@@ -150,7 +158,7 @@ use rayon::prelude::*;
 
 use crate::density::RuleDensityCurve;
 use crate::detector::{rank_anomalies, AnomalyReport, Candidate};
-use crate::ensemble::{EnsembleConfig, EnsembleDetector};
+use crate::ensemble::{Combiner, EnsembleConfig, EnsembleDetector};
 use crate::intern::OnlineInterner;
 
 /// One ensemble member's incremental pipeline state: its token
@@ -649,6 +657,190 @@ impl StreamingEnsembleDetector {
     }
 }
 
+/// Section tag of the detector-state section (`b"ENS1"` little-endian).
+const CKPT_SECTION_DETECTOR: u32 = u32::from_le_bytes(*b"ENS1");
+/// Section tag of each per-member section (`b"MEM1"`), one per ensemble
+/// member in draw order.
+const CKPT_SECTION_MEMBER: u32 = u32::from_le_bytes(*b"MEM1");
+const CKPT_DETECTOR_VERSION: u32 = 1;
+const CKPT_MEMBER_VERSION: u32 = 1;
+
+fn corrupt(what: impl Into<String>) -> CheckpointError {
+    CheckpointError::Corrupt(what.into())
+}
+
+/// Persistence for the detector (see [`Checkpoint`] for the container
+/// format). The checkpoint holds the series, the clock, and each
+/// member's token pipeline (numerosity-reduced sequence, interning
+/// table, live Sequitur grammar slab, cached density curve); the prefix
+/// statistics, shared PAA streams, breakpoint tables, and the batch
+/// combiner are re-derived on load — each is a pure function of the
+/// series and configuration, bit-identical to the evolved originals.
+impl Checkpoint for StreamingEnsembleDetector {
+    fn save_checkpoint(&self, writer: &mut impl Write) -> Result<(), CheckpointError> {
+        use serde::Serialize;
+        let config = self.config();
+        let mut out = CheckpointWriter::begin(writer, 1 + self.members.len() as u32)?;
+        let mut f = FieldWriter::new();
+        f.usize(config.window);
+        f.usize(config.ensemble_size);
+        f.usize(config.wmax);
+        f.usize(config.amax);
+        f.f64(config.selectivity);
+        f.u32(match config.combiner {
+            Combiner::Median => 0,
+            Combiner::Mean => 1,
+            Combiner::Min => 2,
+            Combiner::Max => 3,
+        });
+        f.bool(config.parallel);
+        f.u64(self.seed);
+        f.u64(self.clock.epochs());
+        f.usize(self.clock.offset());
+        f.opt_usize(self.clock.retention());
+        f.f64_slice(&self.series);
+        let stale: Vec<usize> = self.stale.iter().copied().collect();
+        f.usize_slice(&stale);
+        f.usize(self.members.len());
+        out.section(
+            CKPT_SECTION_DETECTOR,
+            CKPT_DETECTOR_VERSION,
+            &f.into_bytes(),
+        )?;
+        for member in &self.members {
+            let mut f = FieldWriter::new();
+            f.usize(member.consumed);
+            f.f64_slice(&member.curve.values);
+            f.value(&member.nr.to_value());
+            f.value(&member.interner.to_value());
+            f.value(&member.seq.to_value());
+            out.section(CKPT_SECTION_MEMBER, CKPT_MEMBER_VERSION, &f.into_bytes())?;
+        }
+        Ok(())
+    }
+
+    fn load_checkpoint(reader: &mut impl Read) -> Result<Self, CheckpointError> {
+        use serde::Deserialize;
+        let mut input = CheckpointReader::begin(reader)?;
+        let (_, payload) = input.section(CKPT_SECTION_DETECTOR, CKPT_DETECTOR_VERSION)?;
+        let mut f = FieldReader::new(&payload);
+        let window = f.usize()?;
+        let ensemble_size = f.usize()?;
+        let wmax = f.usize()?;
+        let amax = f.usize()?;
+        let selectivity = f.f64()?;
+        let combiner = match f.u32()? {
+            0 => Combiner::Median,
+            1 => Combiner::Mean,
+            2 => Combiner::Min,
+            3 => Combiner::Max,
+            other => return Err(corrupt(format!("unknown combiner tag {other}"))),
+        };
+        let parallel = f.bool()?;
+        let seed = f.u64()?;
+        let epochs = f.u64()?;
+        let offset = f.usize()?;
+        let retention = f.opt_usize()?;
+        let series = f.f64_vec()?;
+        let stale = f.usize_vec()?;
+        let member_count = f.usize()?;
+        f.finish()?;
+
+        // Every bound a panicking constructor downstream would assert,
+        // surfaced as a typed error first.
+        if window < 2 {
+            return Err(corrupt("window must be at least 2"));
+        }
+        if ensemble_size == 0 {
+            return Err(corrupt("ensemble size must be positive"));
+        }
+        if wmax < 2 {
+            return Err(corrupt("wmax must be at least 2"));
+        }
+        if !(MIN_ALPHABET..=MAX_ALPHABET).contains(&amax) {
+            return Err(corrupt(format!("amax {amax} outside the alphabet range")));
+        }
+        if !(selectivity > 0.0 && selectivity <= 1.0) {
+            return Err(corrupt("selectivity outside (0, 1]"));
+        }
+        if !series.iter().all(|v| v.is_finite()) {
+            return Err(corrupt("series contains non-finite values"));
+        }
+        if let Some(n) = retention {
+            if n < window {
+                return Err(corrupt(format!("retention {n} below window {window}")));
+            }
+        }
+        let config = EnsembleConfig {
+            window,
+            ensemble_size,
+            wmax,
+            amax,
+            selectivity,
+            combiner,
+            parallel,
+        };
+        let mut detector = Self::new(config, seed);
+        if detector.members.len() != member_count
+            || input.sections_remaining() as usize != member_count
+        {
+            return Err(corrupt(format!(
+                "member count {member_count} disagrees with the {} drawn \
+                 by this configuration and seed",
+                detector.members.len()
+            )));
+        }
+        let mut seen = vec![false; member_count];
+        for &i in &stale {
+            if i >= member_count || std::mem::replace(&mut seen[i], true) {
+                return Err(corrupt("stale queue cites a bad member"));
+            }
+        }
+        detector.series = series;
+        detector.stats = PrefixStats::new(&detector.series);
+        for stream in &mut detector.streams {
+            stream.extend_from_stats(&detector.stats);
+        }
+        let count = detector.window_count();
+        let len = detector.series.len();
+        for (i, member) in detector.members.iter_mut().enumerate() {
+            let (_, payload) = input.section(CKPT_SECTION_MEMBER, CKPT_MEMBER_VERSION)?;
+            let mut f = FieldReader::new(&payload);
+            let consumed = f.usize()?;
+            let curve = f.f64_vec()?;
+            let nr = NumerosityReduced::from_value(&f.value()?)?;
+            let interner = OnlineInterner::from_value(&f.value()?)?;
+            let seq = Sequitur::from_value(&f.value()?)?;
+            f.finish()?;
+            if consumed > count {
+                return Err(corrupt(format!("member {i} consumed beyond the series")));
+            }
+            if curve.len() > len || !curve.iter().all(|v| v.is_finite()) {
+                return Err(corrupt(format!("member {i} carries a malformed curve")));
+            }
+            if nr.window != config.window {
+                return Err(corrupt(format!("member {i} tokens use a foreign window")));
+            }
+            if nr.end_offset != consumed {
+                return Err(corrupt(format!("member {i} tokens desync its windows")));
+            }
+            // Every retained token was pushed into the grammar; a count
+            // mismatch would let occurrence spans index out of range.
+            if seq.token_count() != nr.len() {
+                return Err(corrupt(format!("member {i} grammar/token desync")));
+            }
+            member.consumed = consumed;
+            member.curve = RuleDensityCurve { values: curve };
+            member.nr = nr;
+            member.interner = interner;
+            member.seq = seq;
+        }
+        detector.stale = stale.into();
+        detector.clock = StreamClock::with_state(epochs, offset, retention);
+        Ok(detector)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1051,6 +1243,120 @@ mod tests {
         let report = streaming.finish(3);
         let batch = EnsembleDetector::new(cfg).detect(&series[60..], 3, 11);
         assert_eq!(report, batch);
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint/restore: pinned mid-schedule round trips. The property
+    // harness in tests/checkpoint_proptests.rs injects save/restore at
+    // every prefix of random schedules; these pin the structural edges.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn checkpoint_round_trip_resumes_bit_identically() {
+        let series = test_series(420);
+        let cfg = EnsembleConfig {
+            combiner: Combiner::Mean,
+            selectivity: 0.7,
+            ..config(24, 7)
+        };
+        let mut live = StreamingEnsembleDetector::new(cfg, 17);
+        live.append(&series[..260]);
+        live.run_for(4); // mid-refresh: some members current, some stale
+        live.evict(50).unwrap();
+        live.run_for(2);
+        live.append(&series[260..340]);
+        live.run_for(3);
+
+        let bytes = live.checkpoint_bytes().unwrap();
+        let mut restored = StreamingEnsembleDetector::from_checkpoint_bytes(&bytes).unwrap();
+        assert_eq!(restored.seed(), 17);
+        assert_eq!(restored.config(), cfg);
+        assert_eq!(restored.stream_offset(), live.stream_offset());
+        assert_eq!(restored.pending_members(), live.pending_members());
+        assert_eq!(restored.snapshot(), live.snapshot());
+
+        // Replay the identical remainder on both sides.
+        for detector in [&mut live, &mut restored] {
+            detector.run_for(2);
+            detector.append(&series[340..]);
+            detector.run_for(3);
+            detector.evict(31).unwrap();
+        }
+        assert_eq!(restored.snapshot(), live.snapshot());
+        assert_eq!(restored.finish(3), live.finish(3));
+    }
+
+    #[test]
+    fn checkpoint_restore_lands_on_batch_parity() {
+        // The restored detector inherits the full contract: finishing
+        // after restore is bit-identical to batch detect on the suffix.
+        let series = test_series(300);
+        let cfg = config(20, 6);
+        let mut live = StreamingEnsembleDetector::new(cfg, 3);
+        live.retain_last(220).unwrap();
+        for part in series.chunks(70) {
+            live.append(part);
+            live.run_for(2);
+        }
+        let mut restored =
+            StreamingEnsembleDetector::from_checkpoint_bytes(&live.checkpoint_bytes().unwrap())
+                .unwrap();
+        assert_eq!(restored.retention(), Some(220));
+        let report = restored.finish(2);
+        let batch = EnsembleDetector::new(cfg).detect(&series[300 - 220..], 2, 3);
+        assert_eq!(report, batch);
+    }
+
+    #[test]
+    fn checkpoint_of_an_empty_detector_round_trips() {
+        let live = StreamingEnsembleDetector::new(config(16, 5), 9);
+        let mut restored =
+            StreamingEnsembleDetector::from_checkpoint_bytes(&live.checkpoint_bytes().unwrap())
+                .unwrap();
+        assert_eq!(restored.series_len(), 0);
+        assert!(restored.is_current());
+        let series = test_series(140);
+        restored.append(&series);
+        let batch = EnsembleDetector::new(config(16, 5)).detect(&series, 2, 9);
+        assert_eq!(restored.finish(2), batch);
+    }
+
+    #[test]
+    fn checkpoint_rejects_malformed_input_with_typed_errors() {
+        let series = test_series(200);
+        let mut detector = StreamingEnsembleDetector::new(config(18, 5), 1);
+        detector.append(&series);
+        detector.run_for(3);
+        let bytes = detector.checkpoint_bytes().unwrap();
+
+        let mut foreign = bytes.clone();
+        foreign[0] ^= 0xFF;
+        assert!(matches!(
+            StreamingEnsembleDetector::from_checkpoint_bytes(&foreign),
+            Err(CheckpointError::BadMagic)
+        ));
+        for cut in [0, 8, 12, 16, 60, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                StreamingEnsembleDetector::from_checkpoint_bytes(&bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+        let mut flipped = bytes.clone();
+        let target = flipped.len() * 2 / 3;
+        flipped[target] ^= 0x40;
+        assert!(StreamingEnsembleDetector::from_checkpoint_bytes(&flipped).is_err());
+
+        // A checkpoint of some other session type (different leading
+        // section tag) is rejected as such, not misparsed.
+        let mut alien = Vec::new();
+        let mut writer = CheckpointWriter::begin(&mut alien, 1).unwrap();
+        writer
+            .section(u32::from_le_bytes(*b"MON1"), 1, &[1, 2, 3])
+            .unwrap();
+        assert!(matches!(
+            StreamingEnsembleDetector::from_checkpoint_bytes(&alien),
+            Err(CheckpointError::UnexpectedSection { .. })
+        ));
     }
 
     #[test]

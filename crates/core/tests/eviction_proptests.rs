@@ -10,12 +10,13 @@
 //! and rayon worker count.
 
 use egi_core::{EnsembleConfig, EnsembleDetector, EvictError, StreamingEnsembleDetector};
+use egi_testkit::{choose_evict, PointGen};
 use proptest::prelude::*;
 
-/// Deterministic unbounded stream: the value at global position `i`.
+/// Deterministic unbounded stream: the value at global position `i`
+/// (the shared [`PointGen::ensemble`] wave).
 fn point(i: usize) -> f64 {
-    let t = i as f64;
-    (t * 0.12).sin() * 1.4 + 0.6 * (t * 0.041).cos() + ((i * 29) % 13) as f64 * 0.05
+    PointGen::ensemble().at(i)
 }
 
 fn config(window: usize, members: usize, parallel: bool) -> EnsembleConfig {
@@ -25,23 +26,6 @@ fn config(window: usize, members: usize, parallel: bool) -> EnsembleConfig {
         parallel,
         ..EnsembleConfig::default()
     }
-}
-
-/// Picks a *valid* eviction count for a stream of `live` points under
-/// minimum `window`: occasionally the full drain, otherwise a cut
-/// leaving at least one full window (0 while too short, where only the
-/// full drain is legal).
-fn choose_evict(live: usize, window: usize, amount: usize) -> usize {
-    if live == 0 {
-        return 0;
-    }
-    if amount.is_multiple_of(5) {
-        return live;
-    }
-    if live < window {
-        return 0;
-    }
-    (amount * live / 40).min(live - window)
 }
 
 proptest! {

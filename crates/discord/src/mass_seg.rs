@@ -159,6 +159,25 @@ pub struct SegScratch {
     last: Option<(u64, usize, usize)>,
 }
 
+impl SegScratch {
+    /// The rolled-chain state, if a row is held:
+    /// `(generation, last_q, chain_len, cov_row)`. Checkpointing
+    /// serializes this — a restored monitor that *reseeded* instead of
+    /// continuing the roll would diverge from the uninterrupted run at
+    /// the ulp level, breaking restore bit-parity.
+    pub fn rolled_row(&self) -> Option<(u64, usize, usize, &[f64])> {
+        self.last.map(|(g, q, c)| (g, q, c, self.cov.as_slice()))
+    }
+
+    /// Reinstates a rolled-chain row previously read via
+    /// [`rolled_row`](Self::rolled_row). The generation must match the
+    /// engine's or the row is (harmlessly) ignored on the next query.
+    pub fn set_rolled_row(&mut self, generation: u64, q: usize, chain: usize, cov: Vec<f64>) {
+        self.cov = cov;
+        self.last = Some((generation, q, chain));
+    }
+}
+
 /// Sliding-dot-product engine over a block-segmented series — the
 /// [`MassBackend::Segmented`] kernel. See the [module docs](self) for
 /// the layout, cost model, and parity contract.
@@ -239,6 +258,64 @@ impl SegmentedMass {
         seg.retransform_blocks(0);
         seg.extend_deltas();
         seg
+    }
+
+    /// Rebuilds an engine from checkpointed grid state: the
+    /// grid-aligned series (dead prefix included), the dead-prefix
+    /// length, and the generation counter. Block spectra, prefix sums,
+    /// window statistics, and the `df`/`dg` delta rows are re-derived —
+    /// each is a pure per-entry function of the grid contents, so the
+    /// rebuilt values are bit-identical to the evolved originals and
+    /// checkpoints stay `O(series)` small. The grid layout itself
+    /// (`head`, block boundaries) **must** round-trip: it fixes the FFT
+    /// transform layout, and with it the kernel's exact rounding.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid geometry (`m == 0`, non-power-of-two or
+    /// undersized `block`, `head ≥ block`, fewer than `m` live points) —
+    /// checkpoint loaders validate and return a typed error first.
+    pub fn restore(grid: Vec<f64>, head: usize, m: usize, block: usize, generation: u64) -> Self {
+        assert!(m > 0, "window must be positive");
+        assert!(block.is_power_of_two(), "block size must be a power of two");
+        assert!(block >= m, "block size {block} smaller than window {m}");
+        assert!(
+            head < block,
+            "dead prefix {head} not below block size {block}"
+        );
+        assert!(
+            head + m <= grid.len(),
+            "fewer than m = {m} live points in the grid"
+        );
+        let fsize = 2 * block;
+        let prefix = PrefixStats::new(&grid[head..]);
+        let stats = WindowStats::from_prefix(&prefix, m);
+        let mut seg = Self {
+            m,
+            block,
+            fsize,
+            plan: cached_real_plan(fsize),
+            head,
+            series: grid,
+            specs: Vec::new(),
+            prefix,
+            stats,
+            df: Vec::new(),
+            dg: Vec::new(),
+            generation,
+            fft_scratch: Vec::new(),
+            block_pad: Vec::new(),
+        };
+        seg.retransform_blocks(0);
+        seg.extend_deltas();
+        seg
+    }
+
+    /// The grid-aligned storage (dead prefix **included**) — what a
+    /// checkpoint serializes; pair with [`dead_prefix`](Self::dead_prefix)
+    /// and [`restore`](Self::restore).
+    pub fn grid_series(&self) -> &[f64] {
+        &self.series
     }
 
     /// Re-transforms every block from `from` to the end of the series
@@ -1068,6 +1145,46 @@ mod tests {
                 "transform size must stay flat"
             );
         }
+    }
+
+    /// The checkpoint contract at the kernel level: an engine rebuilt
+    /// from its grid state produces **bit-identical** profiles to the
+    /// evolved original — including rolled chains continued across the
+    /// rebuild — because every derived table is a pure per-entry
+    /// function of the grid contents.
+    #[test]
+    fn restore_from_grid_state_is_bit_identical() {
+        let series = test_series(700);
+        let m = 12;
+        let mut seg = SegmentedMass::with_block_size(&series[..400], m, 64);
+        seg.append(&series[400..600]);
+        seg.evict_front(37);
+        seg.append(&series[600..]);
+        let restored = SegmentedMass::restore(
+            seg.grid_series().to_vec(),
+            seg.dead_prefix(),
+            seg.m(),
+            seg.block_size(),
+            seg.generation(),
+        );
+        assert_eq!(restored.series(), seg.series());
+        assert_eq!(restored.generation(), seg.generation());
+        let mut s1 = SegScratch::default();
+        let mut s2 = SegScratch::default();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for q in 0..seg.window_count() - 1 {
+            seg.rolling_profile_into(q, &mut s1, &mut a);
+            restored.rolling_profile_into(q, &mut s2, &mut b);
+            assert_eq!(a, b, "q={q}");
+        }
+        // A rolled row moved across the rebuild continues the chain
+        // bit-exactly.
+        let (g, q, chain, cov) = s1.rolled_row().unwrap();
+        let mut resumed = SegScratch::default();
+        resumed.set_rolled_row(g, q, chain, cov.to_vec());
+        seg.rolling_profile_into(q + 1, &mut s1, &mut a);
+        restored.rolling_profile_into(q + 1, &mut resumed, &mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -142,7 +142,14 @@
 //! entries may cite retired neighbors regardless of kernel.
 
 use std::collections::VecDeque;
+use std::io::{Read, Write};
 
+/// The persistence contract implemented by the monitor, re-exported
+/// from [`egi_tskit::checkpoint`]: save at any point of an
+/// append/evict/step schedule, restore, replay the rest — the finished
+/// profile is bit-identical to the uninterrupted run.
+pub use egi_tskit::checkpoint::{Checkpoint, CheckpointError};
+use egi_tskit::checkpoint::{CheckpointReader, CheckpointWriter, FieldReader, FieldWriter};
 use egi_tskit::evict::validate_evict;
 /// The shared eviction error of both streaming subsystems, re-exported
 /// from [`egi_tskit::evict`] for callers of
@@ -157,8 +164,8 @@ pub use egi_tskit::session::StreamSession;
 use rayon::prelude::*;
 
 use crate::anytime::pseudo_random_order;
-use crate::mass::MassScratch;
-use crate::mass_seg::{EngineScratch, MassBackend, MassEngine};
+use crate::mass::{MassPrecomputed, MassScratch};
+use crate::mass_seg::{EngineScratch, MassBackend, MassEngine, SegmentedMass, MAX_ROLL_CHAIN};
 use crate::profile::{merge_min_into, Discord, MatrixProfile};
 use crate::stamp::update_from_profile;
 use crate::stomp::default_exclusion;
@@ -724,6 +731,237 @@ impl StreamingDiscordMonitor {
         self.done.extend(remaining);
         self.carry = None;
         self.snapshot()
+    }
+}
+
+/// Section tag of the monitor-state section (`b"MON1"` little-endian).
+const CKPT_SECTION_MONITOR: u32 = u32::from_le_bytes(*b"MON1");
+/// Section tag of the engine-state section (`b"ENG1"`), present only
+/// once the monitor has left warm-up.
+const CKPT_SECTION_ENGINE: u32 = u32::from_le_bytes(*b"ENG1");
+const CKPT_MONITOR_VERSION: u32 = 1;
+const CKPT_ENGINE_VERSION: u32 = 1;
+
+fn corrupt(what: impl Into<String>) -> CheckpointError {
+    CheckpointError::Corrupt(what.into())
+}
+
+/// Persistence for the monitor (see [`Checkpoint`] for the container
+/// format). The checkpoint holds the series plus the fold/queue
+/// bookkeeping; FFT spectra, prefix sums, and window statistics are
+/// re-derived on load — each is a pure per-entry function of the series
+/// (and, on the segmented backend, the checkpointed block-grid layout),
+/// so the rebuilt kernel is bit-identical to the evolved original and
+/// checkpoints stay `O(series)` small. The segmented rolled-chain row
+/// **is** serialized: a restored monitor that reseeded instead of
+/// continuing the roll would diverge from the uninterrupted run at the
+/// ulp level.
+impl Checkpoint for StreamingDiscordMonitor {
+    fn save_checkpoint(&self, writer: &mut impl Write) -> Result<(), CheckpointError> {
+        let sections = 1 + u32::from(self.mass.is_some());
+        let mut out = CheckpointWriter::begin(writer, sections)?;
+        let mut f = FieldWriter::new();
+        f.usize(self.m);
+        f.usize(self.exclusion);
+        f.u64(self.seed);
+        f.u32(match self.backend {
+            MassBackend::Exact => 0,
+            MassBackend::Segmented => 1,
+        });
+        f.u64(self.clock.epochs());
+        f.usize(self.clock.offset());
+        f.opt_usize(self.clock.retention());
+        f.f64_slice(&self.warmup);
+        f.f64_slice(&self.fold_profile);
+        f.usize_slice(&self.fold_index);
+        let pending: Vec<usize> = self.pending.iter().copied().collect();
+        f.usize_slice(&pending);
+        f.usize_slice(&self.done);
+        match &self.carry {
+            None => f.bool(false),
+            Some((cp, ci)) => {
+                f.bool(true);
+                f.f64_slice(cp);
+                f.usize_slice(ci);
+            }
+        }
+        out.section(CKPT_SECTION_MONITOR, CKPT_MONITOR_VERSION, &f.into_bytes())?;
+        let Some(mass) = &self.mass else {
+            return Ok(());
+        };
+        let mut f = FieldWriter::new();
+        match mass {
+            MassEngine::Exact(mass) => f.f64_slice(mass.series()),
+            MassEngine::Segmented(seg) => {
+                f.f64_slice(seg.grid_series());
+                f.usize(seg.dead_prefix());
+                f.usize(seg.block_size());
+                f.u64(seg.generation());
+                // Only a current-generation rolled row is worth keeping:
+                // a stale one would be ignored by the next query on both
+                // the original and the restored monitor alike.
+                match self.scratch.seg.rolled_row() {
+                    Some((g, q, chain, cov)) if g == seg.generation() => {
+                        f.bool(true);
+                        f.usize(q);
+                        f.usize(chain);
+                        f.f64_slice(cov);
+                    }
+                    _ => f.bool(false),
+                }
+            }
+        }
+        out.section(CKPT_SECTION_ENGINE, CKPT_ENGINE_VERSION, &f.into_bytes())?;
+        Ok(())
+    }
+
+    fn load_checkpoint(reader: &mut impl Read) -> Result<Self, CheckpointError> {
+        let mut input = CheckpointReader::begin(reader)?;
+        let (_, payload) = input.section(CKPT_SECTION_MONITOR, CKPT_MONITOR_VERSION)?;
+        let mut f = FieldReader::new(&payload);
+        let m = f.usize()?;
+        let exclusion = f.usize()?;
+        let seed = f.u64()?;
+        let backend = match f.u32()? {
+            0 => MassBackend::Exact,
+            1 => MassBackend::Segmented,
+            other => return Err(corrupt(format!("unknown backend tag {other}"))),
+        };
+        let epochs = f.u64()?;
+        let offset = f.usize()?;
+        let retention = f.opt_usize()?;
+        let warmup = f.f64_vec()?;
+        let fold_profile = f.f64_vec()?;
+        let fold_index = f.usize_vec()?;
+        let pending = f.usize_vec()?;
+        let done = f.usize_vec()?;
+        let carry = if f.bool()? {
+            Some((f.f64_vec()?, f.usize_vec()?))
+        } else {
+            None
+        };
+        f.finish()?;
+        if m == 0 {
+            return Err(corrupt("window m must be positive"));
+        }
+        if let Some(n) = retention {
+            // retain_last rejects n < m, so no saved monitor holds one;
+            // honoring it would panic inside the next append's auto-trim.
+            if n < m {
+                return Err(corrupt(format!("retention {n} below window {m}")));
+            }
+        }
+
+        let (mass, rolled) = if input.sections_remaining() == 0 {
+            // Warm-up phase: no windows yet, all per-window state empty.
+            if warmup.len() >= m {
+                return Err(corrupt("warm-up buffer holds a full window"));
+            }
+            if !fold_profile.is_empty()
+                || !fold_index.is_empty()
+                || !pending.is_empty()
+                || !done.is_empty()
+                || carry.is_some()
+            {
+                return Err(corrupt("per-window state present without an engine"));
+            }
+            (None, None)
+        } else {
+            let (_, payload) = input.section(CKPT_SECTION_ENGINE, CKPT_ENGINE_VERSION)?;
+            let mut f = FieldReader::new(&payload);
+            if !warmup.is_empty() {
+                return Err(corrupt("warm-up buffer non-empty alongside an engine"));
+            }
+            let (engine, rolled) = match backend {
+                MassBackend::Exact => {
+                    let series = f.f64_vec()?;
+                    if series.len() < m {
+                        return Err(corrupt("series shorter than the window"));
+                    }
+                    // A fresh build is bit-identical to the evolved
+                    // engine after any append/evict schedule (the
+                    // kernel's own contract), so the series is the
+                    // whole state.
+                    (MassEngine::Exact(MassPrecomputed::new(&series, m)), None)
+                }
+                MassBackend::Segmented => {
+                    let grid = f.f64_vec()?;
+                    let head = f.usize()?;
+                    let block = f.usize()?;
+                    let generation = f.u64()?;
+                    let rolled = if f.bool()? {
+                        Some((generation, f.usize()?, f.usize()?, f.f64_vec()?))
+                    } else {
+                        None
+                    };
+                    if !block.is_power_of_two() || block < m {
+                        return Err(corrupt(format!("bad block size {block} for window {m}")));
+                    }
+                    if head >= block {
+                        return Err(corrupt(format!("dead prefix {head} not below {block}")));
+                    }
+                    if head + m > grid.len() {
+                        return Err(corrupt("fewer than m live points in the grid"));
+                    }
+                    (
+                        MassEngine::Segmented(SegmentedMass::restore(
+                            grid, head, m, block, generation,
+                        )),
+                        rolled,
+                    )
+                }
+            };
+            f.finish()?;
+            let count = engine.window_count();
+            if fold_profile.len() != count || fold_index.len() != count {
+                return Err(corrupt("fold length disagrees with the window count"));
+            }
+            let in_range = |q: &usize| *q < count;
+            if !pending.iter().all(in_range) || !done.iter().all(in_range) {
+                return Err(corrupt("query index out of range"));
+            }
+            if !fold_index.iter().all(|&i| i == usize::MAX || i < count) {
+                return Err(corrupt("fold neighbor index out of range"));
+            }
+            if let Some((cp, ci)) = &carry {
+                if cp.len() != count || ci.len() != count {
+                    return Err(corrupt("carry length disagrees with the window count"));
+                }
+                if !ci.iter().all(|&i| i == usize::MAX || i < count) {
+                    return Err(corrupt("carry neighbor index out of range"));
+                }
+            }
+            if let Some((_, q, chain, cov)) = &rolled {
+                if *q >= count || *chain > MAX_ROLL_CHAIN || cov.len() != count {
+                    return Err(corrupt("rolled-chain row inconsistent with the grid"));
+                }
+            }
+            (Some(engine), rolled)
+        };
+
+        let mut monitor = Self {
+            m,
+            exclusion,
+            seed,
+            clock: StreamClock::with_state(epochs, offset, retention),
+            backend,
+            warmup,
+            mass,
+            pending: pending.into(),
+            done,
+            fold_profile,
+            fold_index,
+            carry,
+            scratch: EngineScratch::default(),
+            dp: Vec::new(),
+        };
+        if let Some((generation, q, chain, cov)) = rolled {
+            monitor
+                .scratch
+                .seg
+                .set_rolled_row(generation, q, chain, cov);
+        }
+        Ok(monitor)
     }
 }
 
@@ -1317,6 +1555,145 @@ mod tests {
         let fb = b.finish();
         assert_eq!(fa.profile, fb.profile);
         assert_eq!(fa.index, fb.index);
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint/restore: pinned mid-schedule round trips. The property
+    // harness in tests/checkpoint_proptests.rs injects save/restore at
+    // every prefix of random schedules; these pin the structural edges.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn checkpoint_round_trip_resumes_bit_identically() {
+        let series = test_series(300);
+        let m = 9;
+        let exc = m / 2;
+        for backend in [MassBackend::Exact, MassBackend::Segmented] {
+            let mut live = StreamingDiscordMonitor::with_backend(m, exc, 7, backend);
+            live.append(&series[..180]);
+            live.run_for(55); // mid-epoch: fold, pending, and (exact) carry all populated
+            live.append(&series[180..240]);
+            live.run_for(13);
+            live.evict(40).unwrap();
+            live.run_for(21);
+            live.append(&series[240..]);
+            live.run_for(17);
+
+            let bytes = live.checkpoint_bytes().unwrap();
+            let mut restored = StreamingDiscordMonitor::from_checkpoint_bytes(&bytes).unwrap();
+            assert_eq!(restored.backend(), backend);
+            assert_eq!(restored.stream_offset(), live.stream_offset());
+            assert_eq!(restored.epochs(), live.epochs());
+            assert_eq!(restored.pending(), live.pending());
+            let (a, b) = (restored.snapshot(), live.snapshot());
+            assert_eq!(a.profile, b.profile, "{backend:?}");
+            assert_eq!(a.index, b.index, "{backend:?}");
+
+            // Replay the identical remainder on both: every intermediate
+            // snapshot and the finish must stay bitwise in lockstep.
+            for monitor in [&mut live, &mut restored] {
+                monitor.run_for(29);
+                monitor.append(&series[..50]);
+                monitor.run_for(11);
+                monitor.evict(23).unwrap();
+            }
+            let (a, b) = (restored.snapshot(), live.snapshot());
+            assert_eq!(a.profile, b.profile, "{backend:?}");
+            let (fa, fb) = (restored.finish(), live.finish());
+            assert_eq!(fa.profile, fb.profile, "{backend:?}");
+            assert_eq!(fa.index, fb.index, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_preserves_the_segmented_rolled_chain() {
+        // Ascending query order keeps the rolled covariance row hot; a
+        // checkpoint taken mid-chain must hand the restored monitor the
+        // same row, or its next query reseeds and drifts by an ulp.
+        let series = test_series(400);
+        let m = 12;
+        let mut live = StreamingDiscordMonitor::with_backend(
+            m,
+            m / 2,
+            DEFAULT_MONITOR_SEED,
+            MassBackend::Segmented,
+        );
+        live.append(&series);
+        live.run_for(150); // mid-chain
+        let mut restored =
+            StreamingDiscordMonitor::from_checkpoint_bytes(&live.checkpoint_bytes().unwrap())
+                .unwrap();
+        let (fa, fb) = (restored.finish(), live.finish());
+        assert_eq!(fa.profile, fb.profile);
+        assert_eq!(fa.index, fb.index);
+    }
+
+    #[test]
+    fn checkpoint_during_warmup_round_trips() {
+        let mut live = StreamingDiscordMonitor::new(8);
+        live.append(&[1.0, 2.0, 3.0]);
+        let mut restored =
+            StreamingDiscordMonitor::from_checkpoint_bytes(&live.checkpoint_bytes().unwrap())
+                .unwrap();
+        assert_eq!(restored.series_len(), 3);
+        assert_eq!(restored.window_count(), 0);
+        let tail = test_series(120);
+        live.append(&tail);
+        restored.append(&tail);
+        let (fa, fb) = (restored.finish(), live.finish());
+        assert_eq!(fa.profile, fb.profile);
+        assert_eq!(fa.index, fb.index);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_retention_policy() {
+        let series = test_series(400);
+        let m = 8;
+        let mut live = StreamingDiscordMonitor::new(m);
+        live.retain_last(120).unwrap();
+        live.append(&series[..300]);
+        live.run_for(31);
+        let mut restored =
+            StreamingDiscordMonitor::from_checkpoint_bytes(&live.checkpoint_bytes().unwrap())
+                .unwrap();
+        assert_eq!(restored.retention(), Some(120));
+        // The policy keeps trimming on the restored side.
+        live.append(&series[300..]);
+        restored.append(&series[300..]);
+        assert_eq!(restored.series_len(), 120);
+        assert_eq!(restored.stream_offset(), live.stream_offset());
+        let (fa, fb) = (restored.finish(), live.finish());
+        assert_eq!(fa.profile, fb.profile);
+        assert_eq!(fa.index, fb.index);
+    }
+
+    #[test]
+    fn checkpoint_rejects_malformed_input_with_typed_errors() {
+        let series = test_series(150);
+        let mut monitor = StreamingDiscordMonitor::new(8);
+        monitor.append(&series);
+        monitor.run_for(40);
+        let bytes = monitor.checkpoint_bytes().unwrap();
+
+        // Wrong magic.
+        let mut foreign = bytes.clone();
+        foreign[0] ^= 0xFF;
+        assert!(matches!(
+            StreamingDiscordMonitor::from_checkpoint_bytes(&foreign),
+            Err(CheckpointError::BadMagic)
+        ));
+        // Truncation anywhere must surface as an error, never a panic.
+        for cut in [0, 7, 8, 15, 16, 40, bytes.len() - 1] {
+            assert!(
+                StreamingDiscordMonitor::from_checkpoint_bytes(&bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+        // A flipped payload byte fails the section checksum.
+        let mut flipped = bytes.clone();
+        let target = flipped.len() / 2;
+        flipped[target] ^= 0x10;
+        assert!(StreamingDiscordMonitor::from_checkpoint_bytes(&flipped).is_err());
     }
 
     #[test]

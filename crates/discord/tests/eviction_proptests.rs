@@ -12,31 +12,15 @@
 use egi_discord::mass_seg::MassBackend;
 use egi_discord::stamp::stamp_with_exclusion;
 use egi_discord::streaming::{EvictError, StreamingDiscordMonitor, DEFAULT_MONITOR_SEED};
+use egi_testkit::{choose_evict, PointGen};
 use proptest::prelude::*;
 
-/// Deterministic unbounded stream: the value at global position `i`.
-/// Generating points from their global index keeps append chunks
-/// reproducible without materializing the whole stream up front.
+/// Deterministic unbounded stream: the value at global position `i`
+/// (the shared [`PointGen::discord`] wave). Generating points from
+/// their global index keeps append chunks reproducible without
+/// materializing the whole stream up front.
 fn point(i: usize) -> f64 {
-    let t = i as f64;
-    (t * 0.17).sin() * 1.3 + 0.5 * (t * 0.031).cos() + ((i * 23) % 11) as f64 * 0.05
-}
-
-/// Picks a *valid* eviction count for a stream of `live` points under
-/// minimum window `m`: occasionally the full drain, otherwise a cut
-/// leaving at least `m` points (0 while warming up, where only the full
-/// drain is legal).
-fn choose_evict(live: usize, m: usize, amount: usize) -> usize {
-    if live == 0 {
-        return 0;
-    }
-    if amount.is_multiple_of(5) {
-        return live; // full drain now and then
-    }
-    if live < m {
-        return 0;
-    }
-    (amount * live / 40).min(live - m)
+    PointGen::discord().at(i)
 }
 
 proptest! {

@@ -23,15 +23,16 @@ use egi_discord::mass_seg::MassBackend;
 use egi_discord::stamp::{stamp_per_query_fft, stamp_with_exclusion};
 use egi_discord::streaming::{EvictError, StreamingDiscordMonitor, DEFAULT_MONITOR_SEED};
 use egi_discord::MassPrecomputed;
+use egi_testkit::{choose_evict, PointGen};
 use proptest::prelude::*;
 
 /// Parity budget of the segmented backend (see `egi_discord::mass_seg`).
 const TOL: f64 = 1e-9;
 
-/// Deterministic unbounded stream: the value at global position `i`.
+/// Deterministic unbounded stream: the value at global position `i`
+/// (the shared [`PointGen::segmented`] wave).
 fn point(i: usize) -> f64 {
-    let t = i as f64;
-    (t * 0.19).sin() * 1.4 + 0.6 * (t * 0.029).cos() + ((i * 31) % 13) as f64 * 0.05
+    PointGen::segmented().at(i)
 }
 
 /// ≤`TOL` in distance or squared distance. `d = √(2m(1 − corr))`
@@ -42,20 +43,6 @@ fn profile_close(a: f64, b: f64) -> bool {
     // Equality first: covers the `+∞` entries of windows with no
     // admissible neighbor, where `a - b` is NaN.
     a == b || (a - b).abs() <= TOL || (a * a - b * b).abs() <= TOL
-}
-
-/// Picks a valid eviction count (mirrors the eviction harness).
-fn choose_evict(live: usize, m: usize, amount: usize) -> usize {
-    if live == 0 {
-        return 0;
-    }
-    if amount.is_multiple_of(5) {
-        return live;
-    }
-    if live < m {
-        return 0;
-    }
-    (amount * live / 40).min(live - m)
 }
 
 /// For each profile entry of `series`, the two smallest admissible

@@ -78,6 +78,41 @@ impl From<Vec<u8>> for SaxWord {
     }
 }
 
+impl serde::Serialize for SaxConfig {
+    fn to_value(&self) -> serde::Value {
+        (self.w, self.a).to_value()
+    }
+}
+
+impl serde::Deserialize for SaxConfig {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeserializeError> {
+        let (w, a): (usize, usize) = serde::Deserialize::from_value(value)?;
+        // The same bounds SaxConfig::new asserts, surfaced as an error:
+        // the checkpoint loader must never feed a panicking constructor.
+        if w == 0 {
+            return Err(serde::DeserializeError("PAA size must be positive".into()));
+        }
+        if !(crate::breakpoints::MIN_ALPHABET..=crate::breakpoints::MAX_ALPHABET).contains(&a) {
+            return Err(serde::DeserializeError(format!(
+                "alphabet size {a} unsupported"
+            )));
+        }
+        Ok(Self { w, a })
+    }
+}
+
+impl serde::Serialize for SaxWord {
+    fn to_value(&self) -> serde::Value {
+        self.0.to_value()
+    }
+}
+
+impl serde::Deserialize for SaxWord {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeserializeError> {
+        Vec::<u8>::from_value(value).map(SaxWord)
+    }
+}
+
 /// Discretizes one subsequence into a SAX word.
 ///
 /// Pipeline (paper Figure 3): z-normalize → PAA(`w`) → breakpoint lookup.
@@ -152,6 +187,19 @@ mod tests {
     #[test]
     fn config_display() {
         assert_eq!(SaxConfig::new(4, 3).to_string(), "(w=4, a=3)");
+    }
+
+    #[test]
+    fn serde_round_trip_validates_bounds() {
+        use serde::{Deserialize, Serialize};
+        let cfg = SaxConfig::new(6, 5);
+        assert_eq!(SaxConfig::from_value(&cfg.to_value()), Ok(cfg));
+        let word = SaxWord(vec![0, 3, 1]);
+        assert_eq!(SaxWord::from_value(&word.to_value()), Ok(word));
+        // The panicking constructor's bounds surface as errors here.
+        assert!(SaxConfig::from_value(&(0usize, 4usize).to_value()).is_err());
+        assert!(SaxConfig::from_value(&(4usize, 1usize).to_value()).is_err());
+        assert!(SaxConfig::from_value(&(4usize, 1_000usize).to_value()).is_err());
     }
 
     #[test]

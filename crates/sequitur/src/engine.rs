@@ -13,6 +13,7 @@
 //! interleavings).
 
 use rustc_hash::FxHashMap;
+use serde::{Deserialize, DeserializeError, Serialize, Value};
 
 use crate::grammar::{Grammar, GrammarRule, RuleOccurrence, Symbol};
 
@@ -678,6 +679,211 @@ impl Sequitur {
     }
 }
 
+// ----------------------------------------------------------------------
+// Serde-shim impls (checkpoint/restore)
+//
+// The streaming detector checkpoints a *live* engine mid-induction, so
+// the entire slab state — nodes, free-list order (allocation pops from
+// the back, so order is behavioral), rule records including tombstones,
+// the digram table, and the token count — must round-trip exactly for a
+// restored engine to evolve bit-identically under further pushes. The
+// digram table is emitted sorted by key so checkpoints are
+// byte-deterministic; reinsertion order into the hash map is
+// unobservable (the table is only ever probed by key).
+// ----------------------------------------------------------------------
+
+/// Total order on symbols for deterministic digram emission.
+fn sym_rank(s: Sym) -> (u8, u32) {
+    match s {
+        Sym::T(t) => (0, t),
+        Sym::R(r) => (1, r),
+    }
+}
+
+impl Serialize for Sym {
+    fn to_value(&self) -> Value {
+        let (tag, v) = sym_rank(*self);
+        Value::Arr(vec![Value::UInt(tag as u64), Value::UInt(v as u64)])
+    }
+}
+
+impl Deserialize for Sym {
+    fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+        let (tag, v): (u8, u32) = Deserialize::from_value(value)?;
+        match tag {
+            0 => Ok(Sym::T(v)),
+            1 => Ok(Sym::R(v)),
+            _ => Err(DeserializeError(format!("unknown symbol tag {tag}"))),
+        }
+    }
+}
+
+impl Serialize for Kind {
+    fn to_value(&self) -> Value {
+        match self {
+            Kind::Guard { rule } => Value::Arr(vec![Value::UInt(0), Value::UInt(*rule as u64)]),
+            Kind::Sym(s) => Value::Arr(vec![Value::UInt(1), s.to_value()]),
+            Kind::Free => Value::Arr(vec![Value::UInt(2)]),
+        }
+    }
+}
+
+impl Deserialize for Kind {
+    fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+        let items = match value {
+            Value::Arr(items) if !items.is_empty() => items,
+            other => return Err(DeserializeError::expected("node kind array", other)),
+        };
+        match (u64::from_value(&items[0])?, items.len()) {
+            (0, 2) => Ok(Kind::Guard {
+                rule: u32::from_value(&items[1])?,
+            }),
+            (1, 2) => Ok(Kind::Sym(Sym::from_value(&items[1])?)),
+            (2, 1) => Ok(Kind::Free),
+            (tag, len) => Err(DeserializeError(format!(
+                "malformed node kind (tag {tag}, {len} items)"
+            ))),
+        }
+    }
+}
+
+impl Serialize for Node {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![
+            self.kind.to_value(),
+            Value::UInt(self.prev as u64),
+            Value::UInt(self.next as u64),
+            Value::UInt(self.occ_prev as u64),
+            Value::UInt(self.occ_next as u64),
+        ])
+    }
+}
+
+impl Deserialize for Node {
+    fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+        let items = match value {
+            Value::Arr(items) if items.len() == 5 => items,
+            other => return Err(DeserializeError::expected("array of 5", other)),
+        };
+        Ok(Node {
+            kind: Kind::from_value(&items[0])?,
+            prev: u32::from_value(&items[1])?,
+            next: u32::from_value(&items[2])?,
+            occ_prev: u32::from_value(&items[3])?,
+            occ_next: u32::from_value(&items[4])?,
+        })
+    }
+}
+
+impl Serialize for Sequitur {
+    fn to_value(&self) -> Value {
+        let rules: Vec<(u32, u32, u32, usize)> = self
+            .rules
+            .iter()
+            .map(|r| (r.guard, r.occ_head, r.uses, r.exp_len))
+            .collect();
+        let mut digrams: Vec<(Sym, Sym, u32)> =
+            self.digrams.iter().map(|(&(a, b), &n)| (a, b, n)).collect();
+        digrams.sort_unstable_by_key(|&(a, b, _)| (sym_rank(a), sym_rank(b)));
+        Value::Obj(vec![
+            ("nodes".into(), self.nodes.to_value()),
+            ("free".into(), self.free.to_value()),
+            ("rules".into(), rules.to_value()),
+            ("digrams".into(), digrams.to_value()),
+            ("underused".into(), self.underused.to_value()),
+            ("token_count".into(), self.token_count.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Sequitur {
+    fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+        let nodes: Vec<Node> = value.field("nodes")?;
+        let free: Vec<u32> = value.field("free")?;
+        let rules_raw: Vec<(u32, u32, u32, usize)> = value.field("rules")?;
+        let digrams_raw: Vec<(Sym, Sym, u32)> = value.field("digrams")?;
+        let underused: Vec<u32> = value.field("underused")?;
+        let token_count: usize = value.field("token_count")?;
+
+        let rules: Vec<RuleRec> = rules_raw
+            .into_iter()
+            .map(|(guard, occ_head, uses, exp_len)| RuleRec {
+                guard,
+                occ_head,
+                uses,
+                exp_len,
+            })
+            .collect();
+
+        // Structural validation: every index a restored engine will
+        // chase must land inside the slab, or the first push after a
+        // restore would panic instead of erroring here.
+        let node_ok = |i: u32| i == NIL || (i as usize) < nodes.len();
+        for node in &nodes {
+            if !(node_ok(node.prev)
+                && node_ok(node.next)
+                && node_ok(node.occ_prev)
+                && node_ok(node.occ_next))
+            {
+                return Err(DeserializeError("node link out of slab range".into()));
+            }
+            let rule_ref = match node.kind {
+                Kind::Guard { rule } => Some(rule),
+                Kind::Sym(Sym::R(r)) => Some(r),
+                _ => None,
+            };
+            if let Some(r) = rule_ref {
+                if (r as usize) >= rules.len() {
+                    return Err(DeserializeError(format!("rule reference {r} out of range")));
+                }
+            }
+        }
+        if rules.is_empty() || rules[0].guard == NIL {
+            return Err(DeserializeError("missing live root rule".into()));
+        }
+        for rec in &rules {
+            if !(node_ok(rec.guard) && node_ok(rec.occ_head)) {
+                return Err(DeserializeError(
+                    "rule record cites a node out of range".into(),
+                ));
+            }
+        }
+        for &f in &free {
+            if (f as usize) >= nodes.len() || !matches!(nodes[f as usize].kind, Kind::Free) {
+                return Err(DeserializeError("free list cites a non-free node".into()));
+            }
+        }
+        for &(_, _, n) in &digrams_raw {
+            if (n as usize) >= nodes.len() {
+                return Err(DeserializeError(
+                    "digram table cites a node out of range".into(),
+                ));
+            }
+        }
+        for &r in &underused {
+            if (r as usize) >= rules.len() {
+                return Err(DeserializeError(
+                    "underused queue cites a rule out of range".into(),
+                ));
+            }
+        }
+
+        let mut digrams =
+            FxHashMap::with_capacity_and_hasher(digrams_raw.len(), Default::default());
+        for (a, b, n) in digrams_raw {
+            digrams.insert((a, b), n);
+        }
+        Ok(Sequitur {
+            nodes,
+            free,
+            rules,
+            digrams,
+            underused,
+            token_count,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1009,6 +1215,89 @@ mod tests {
         s.push(1);
         s.push(2);
         assert_eq!(s.to_grammar(), induce([1u32, 2]));
+    }
+
+    /// A serde round-trip of a live mid-induction engine must restore
+    /// *behavioral* state: the rebuilt engine evolves bit-identically
+    /// under every further push (the checkpoint/restore contract).
+    #[test]
+    fn serde_round_trip_preserves_future_evolution() {
+        let inputs: Vec<Vec<u32>> = vec![
+            (0..240).map(|i| ((i * 13) % 9) as u32).collect(),
+            vec![5; 40],
+            (0..160).map(|i| ((i * i) % 7) as u32).collect(),
+            vec![],
+        ];
+        for input in inputs {
+            for cut in [0, input.len() / 3, input.len() / 2, input.len()] {
+                let mut original = Sequitur::new();
+                for &t in &input[..cut] {
+                    original.push(t);
+                }
+                let mut restored = Sequitur::from_value(&original.to_value()).expect("round trip");
+                assert_eq!(restored.token_count(), original.token_count());
+                assert_eq!(restored.to_grammar(), original.to_grammar());
+                for &t in &input[cut..] {
+                    original.push(t);
+                    restored.push(t);
+                }
+                assert_eq!(restored.to_grammar(), original.to_grammar(), "cut {cut}");
+                let live: Vec<_> = restored.occurrences();
+                let reference: Vec<_> = original.occurrences();
+                assert_eq!(live, reference, "cut {cut}");
+            }
+        }
+    }
+
+    /// Malformed value trees — wrong shapes, dangling indices, a dead
+    /// root — error instead of building an engine that panics later.
+    #[test]
+    fn serde_rejects_malformed_state() {
+        assert!(Sequitur::from_value(&Value::Null).is_err());
+        assert!(Sequitur::from_value(&Value::Obj(vec![])).is_err());
+
+        let mut s = Sequitur::new();
+        for t in [0u32, 1, 0, 1, 2, 0, 1] {
+            s.push(t);
+        }
+        let good = s.to_value();
+
+        // Dangling node link.
+        let mut bad = good.clone();
+        if let Value::Obj(pairs) = &mut bad {
+            for (k, v) in pairs.iter_mut() {
+                if k == "nodes" {
+                    if let Value::Arr(nodes) = v {
+                        if let Value::Arr(fields) = &mut nodes[1] {
+                            fields[2] = Value::UInt(9_999);
+                        }
+                    }
+                }
+            }
+        }
+        assert!(Sequitur::from_value(&bad).is_err());
+
+        // Empty rule table (no root).
+        let mut bad = good.clone();
+        if let Value::Obj(pairs) = &mut bad {
+            for (k, v) in pairs.iter_mut() {
+                if k == "rules" {
+                    *v = Value::Arr(vec![]);
+                }
+            }
+        }
+        assert!(Sequitur::from_value(&bad).is_err());
+
+        // Free list citing a live node.
+        let mut bad = good;
+        if let Value::Obj(pairs) = &mut bad {
+            for (k, v) in pairs.iter_mut() {
+                if k == "free" {
+                    *v = Value::Arr(vec![Value::UInt(0)]);
+                }
+            }
+        }
+        assert!(Sequitur::from_value(&bad).is_err());
     }
 
     #[test]

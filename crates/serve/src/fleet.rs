@@ -46,7 +46,14 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::io::{Read, Write};
 
+/// The persistence contract implemented by the fleet, re-exported from
+/// [`egi_tskit::checkpoint`]: when `S` itself implements [`Checkpoint`],
+/// the whole fleet — sessions, ingest buffers, and the fair-share
+/// rotation — saves and restores as one container.
+pub use egi_tskit::checkpoint::{Checkpoint, CheckpointError};
+use egi_tskit::checkpoint::{CheckpointReader, CheckpointWriter, FieldReader, FieldWriter};
 use egi_tskit::evict::EvictError;
 use egi_tskit::session::StreamSession;
 use egi_tskit::Deadline;
@@ -468,6 +475,108 @@ impl<S: StreamSession + Send> Fleet<S> {
     }
 }
 
+/// Section tag of the fleet-roster section (`b"FLT1"` little-endian).
+const CKPT_SECTION_FLEET: u32 = u32::from_le_bytes(*b"FLT1");
+/// Section tag of each per-stream section (`b"STR1"`), one per stream
+/// in creation order.
+const CKPT_SECTION_STREAM: u32 = u32::from_le_bytes(*b"STR1");
+const CKPT_FLEET_VERSION: u32 = 1;
+const CKPT_STREAM_VERSION: u32 = 1;
+
+/// Persistence for the fleet (see [`Checkpoint`] for the container
+/// format). The roster section records stream ids in creation order and
+/// the rotation queue in FIFO order — the rotation **must** round-trip
+/// verbatim so a restored fleet schedules refresh units in exactly the
+/// order the uninterrupted one would. Each stream section nests its
+/// session's own checkpoint (opaque bytes, validated by `S`'s loader)
+/// next to its ingest buffer; the per-slot dirty flag is re-derived
+/// from rotation membership and cross-checked against the restored
+/// session's pending work.
+impl<S: StreamSession + Checkpoint> Checkpoint for Fleet<S> {
+    fn save_checkpoint(&self, writer: &mut impl Write) -> Result<(), CheckpointError> {
+        let mut out = CheckpointWriter::begin(writer, 1 + self.order.len() as u32)?;
+        let mut f = FieldWriter::new();
+        f.usize(self.order.len());
+        for &id in &self.order {
+            f.u64(id);
+        }
+        f.usize(self.rotation.len());
+        for &id in &self.rotation {
+            f.u64(id);
+        }
+        out.section(CKPT_SECTION_FLEET, CKPT_FLEET_VERSION, &f.into_bytes())?;
+        for &id in &self.order {
+            let slot = &self.slots[&id];
+            let mut f = FieldWriter::new();
+            f.u64(id);
+            f.f64_slice(&slot.inbox);
+            f.bytes(&slot.session.checkpoint_bytes()?);
+            out.section(CKPT_SECTION_STREAM, CKPT_STREAM_VERSION, &f.into_bytes())?;
+        }
+        Ok(())
+    }
+
+    fn load_checkpoint(reader: &mut impl Read) -> Result<Self, CheckpointError> {
+        let corrupt = |what: &str| CheckpointError::Corrupt(what.to_string());
+        let mut input = CheckpointReader::begin(reader)?;
+        let (_, payload) = input.section(CKPT_SECTION_FLEET, CKPT_FLEET_VERSION)?;
+        let mut f = FieldReader::new(&payload);
+        let count = f.usize()?;
+        let mut order = Vec::new();
+        for _ in 0..count {
+            order.push(f.u64()?);
+        }
+        let dirty_count = f.usize()?;
+        let mut rotation = Vec::new();
+        for _ in 0..dirty_count {
+            rotation.push(f.u64()?);
+        }
+        f.finish()?;
+        if input.sections_remaining() as usize != count {
+            return Err(corrupt("stream sections disagree with the roster"));
+        }
+        let roster: std::collections::HashSet<StreamId> = order.iter().copied().collect();
+        if roster.len() != order.len() {
+            return Err(corrupt("duplicate stream id in the roster"));
+        }
+        let dirty_set: std::collections::HashSet<StreamId> = rotation.iter().copied().collect();
+        if dirty_set.len() != rotation.len() || !dirty_set.iter().all(|id| roster.contains(id)) {
+            return Err(corrupt("rotation cites a bad stream id"));
+        }
+        let mut fleet = Self::new();
+        for &expected in &order {
+            let (_, payload) = input.section(CKPT_SECTION_STREAM, CKPT_STREAM_VERSION)?;
+            let mut f = FieldReader::new(&payload);
+            let id = f.u64()?;
+            if id != expected {
+                return Err(corrupt("stream section out of roster order"));
+            }
+            let inbox = f.f64_vec()?;
+            let session = S::from_checkpoint_bytes(f.bytes()?)?;
+            f.finish()?;
+            let dirty = dirty_set.contains(&id);
+            // The scheduler invariant: a stream is in the rotation iff
+            // its session has pending work. A checkpoint violating it
+            // would starve a dirty stream (or spin on a clean one).
+            if dirty != (session.pending_units() > 0) {
+                return Err(corrupt("rotation disagrees with a session's pending work"));
+            }
+            fleet.buffered += inbox.len();
+            fleet.slots.insert(
+                id,
+                Slot {
+                    session,
+                    inbox,
+                    dirty,
+                },
+            );
+            fleet.order.push(id);
+        }
+        fleet.rotation = rotation.into();
+        Ok(fleet)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -557,6 +666,42 @@ mod tests {
         fn finish(&mut self) -> usize {
             while self.step() {}
             self.snapshot()
+        }
+    }
+
+    impl Checkpoint for MockSession {
+        fn save_checkpoint(&self, writer: &mut impl std::io::Write) -> Result<(), CheckpointError> {
+            let mut out = CheckpointWriter::begin(writer, 1)?;
+            let mut f = FieldWriter::new();
+            f.f64_slice(&self.live);
+            f.usize(self.cursor);
+            f.usize(self.offset);
+            f.opt_usize(self.retention);
+            let appends: Vec<usize> = self.appends.clone();
+            f.usize_slice(&appends);
+            out.section(u32::from_le_bytes(*b"MCK1"), 1, &f.into_bytes())
+        }
+
+        fn load_checkpoint(reader: &mut impl std::io::Read) -> Result<Self, CheckpointError> {
+            let mut input = CheckpointReader::begin(reader)?;
+            let (_, payload) = input.section(u32::from_le_bytes(*b"MCK1"), 1)?;
+            let mut f = FieldReader::new(&payload);
+            let live = f.f64_vec()?;
+            let cursor = f.usize()?;
+            let offset = f.usize()?;
+            let retention = f.opt_usize()?;
+            let appends = f.usize_vec()?;
+            f.finish()?;
+            if cursor > live.len() {
+                return Err(CheckpointError::Corrupt("cursor past the series".into()));
+            }
+            Ok(Self {
+                live,
+                cursor,
+                offset,
+                retention,
+                appends,
+            })
         }
     }
 
@@ -730,6 +875,73 @@ mod tests {
         assert_eq!(reports, vec![(9, 3), (2, 5), (5, 3)]);
         assert_eq!(fleet.dirty_count(), 0);
         assert_eq!(fleet.pending_units(), 0);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_roster_rotation_and_inboxes() {
+        let mut fleet = fleet_of(4, 6);
+        // Perturb the rotation so its FIFO order differs from creation
+        // order, buffer some never-flushed ingest, and drain stream 3.
+        assert_eq!(fleet.refresh(Deadline::queries(3)), 3);
+        fleet.ingest(1, &[2.0; 5]).unwrap();
+        fleet.finish(3).unwrap();
+
+        let bytes = fleet.checkpoint_bytes().unwrap();
+        let mut restored = Fleet::<MockSession>::from_checkpoint_bytes(&bytes).unwrap();
+        assert_eq!(restored.ids(), fleet.ids());
+        assert_eq!(restored.dirty_count(), fleet.dirty_count());
+        assert_eq!(restored.buffered(), fleet.buffered());
+        assert_eq!(restored.buffered_for(1), Ok(5));
+        assert_eq!(restored.rotation, fleet.rotation, "FIFO order verbatim");
+
+        // Replay the identical remainder: scheduling must stay in
+        // lockstep, query by query.
+        loop {
+            let a = fleet.refresh(Deadline::queries(2));
+            let b = restored.refresh(Deadline::queries(2));
+            assert_eq!(a, b);
+            for &id in &[0u64, 1, 2, 3] {
+                assert_eq!(restored.query(id), fleet.query(id), "stream {id}");
+            }
+            if a == 0 {
+                break;
+            }
+        }
+        assert_eq!(restored.finish_all(), fleet.finish_all());
+    }
+
+    #[test]
+    fn checkpoint_of_an_empty_fleet_round_trips() {
+        let fleet: Fleet<MockSession> = Fleet::new();
+        let restored =
+            Fleet::<MockSession>::from_checkpoint_bytes(&fleet.checkpoint_bytes().unwrap())
+                .unwrap();
+        assert!(restored.is_empty());
+        assert_eq!(restored.dirty_count(), 0);
+    }
+
+    #[test]
+    fn checkpoint_rejects_malformed_input_with_typed_errors() {
+        let mut fleet = fleet_of(3, 4);
+        fleet.ingest(2, &[1.0; 2]).unwrap();
+        let bytes = fleet.checkpoint_bytes().unwrap();
+
+        let mut foreign = bytes.clone();
+        foreign[3] ^= 0x01;
+        assert!(matches!(
+            Fleet::<MockSession>::from_checkpoint_bytes(&foreign),
+            Err(CheckpointError::BadMagic)
+        ));
+        for cut in [0, 9, 16, 30, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                Fleet::<MockSession>::from_checkpoint_bytes(&bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+        let mut flipped = bytes;
+        let target = flipped.len() - 20;
+        flipped[target] ^= 0x80;
+        assert!(Fleet::<MockSession>::from_checkpoint_bytes(&flipped).is_err());
     }
 
     #[test]

@@ -19,34 +19,17 @@ use egi_core::{EnsembleConfig, EnsembleDetector, StreamingEnsembleDetector};
 use egi_discord::stamp::stamp_with_exclusion;
 use egi_discord::streaming::{StreamSession, StreamingDiscordMonitor};
 use egi_serve::{Fleet, FleetError, StreamId};
+use egi_testkit::{choose_evict, PointGen};
 use egi_tskit::evict::EvictError;
 use egi_tskit::Deadline;
 use proptest::prelude::*;
 
 /// Deterministic unbounded per-stream source: the value of stream `id`
-/// at its global position `i`. Distinct phase and drift per stream so
-/// cross-stream state leaks would break parity immediately.
+/// at its global position `i` (the shared [`PointGen::fleet`] wave).
+/// Distinct phase and drift per stream so cross-stream state leaks
+/// would break parity immediately.
 fn point(id: StreamId, i: usize) -> f64 {
-    let t = i as f64;
-    let phase = id as f64 * 0.73;
-    (t * 0.17 + phase).sin() * 1.3
-        + 0.5 * (t * 0.031).cos()
-        + ((i * 23 + id as usize * 7) % 11) as f64 * 0.05
-}
-
-/// Picks a *valid* eviction count for a stream of `live` points under
-/// minimum window `m` (see the discord eviction harness).
-fn choose_evict(live: usize, m: usize, amount: usize) -> usize {
-    if live == 0 {
-        return 0;
-    }
-    if amount.is_multiple_of(5) {
-        return live;
-    }
-    if live < m {
-        return 0;
-    }
-    (amount * live / 40).min(live - m)
+    PointGen::fleet(id).at(i)
 }
 
 /// Per-stream shadow bookkeeping: the standalone monitor fed the same

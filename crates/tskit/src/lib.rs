@@ -27,6 +27,12 @@
 //!   paper's protocol (concatenate 20 normal instances, plant one anomalous
 //!   instance at a random position in `[40%, 80%]` of the series).
 //! * [`io`] — minimal CSV reading/writing for series interchange.
+//! * [`checkpoint`] — the versioned snapshot/restore substrate: the
+//!   [`Checkpoint`] trait every streaming session implements, the
+//!   length-prefixed checksummed container format, and the typed
+//!   [`CheckpointError`] every malformed input maps to. A restored
+//!   session replays the remainder of any schedule bit-identically to
+//!   the uninterrupted original.
 //!
 //! Everything is dependency-light (only `rand`) and deterministic when
 //! seeded, which the evaluation harness relies on for reproducibility.
@@ -34,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checkpoint;
 pub mod corpus;
 pub mod deadline;
 pub mod evict;
@@ -44,6 +51,7 @@ pub mod session;
 pub mod stats;
 pub mod window;
 
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use corpus::{CorpusSpec, LabeledSeries};
 pub use deadline::Deadline;
 pub use evict::EvictError;

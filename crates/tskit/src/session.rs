@@ -163,6 +163,17 @@ impl StreamClock {
         Self::default()
     }
 
+    /// Rebuilds a clock from checkpointed state. The epoch must be
+    /// restored exactly: monitors salt their fold order with it, so a
+    /// reset epoch would break restore bit-parity.
+    pub fn with_state(epoch: u64, offset: usize, retention: Option<usize>) -> Self {
+        Self {
+            epoch,
+            offset,
+            retention,
+        }
+    }
+
     /// Monotone revision counter: bumped once per successful append or
     /// eviction. Refresh work tagged with an older epoch is stale.
     pub fn epochs(&self) -> u64 {

@@ -179,6 +179,21 @@ pub mod prop {
     }
 }
 
+/// Resolves the case count for one run: the configured count, raised
+/// to the `PROPTEST_CASES` environment variable when that is set
+/// higher. Each harness pins a count sized for the regular test job;
+/// the nightly-style CI soak step exports `PROPTEST_CASES` to multiply
+/// coverage without touching the sources. (The variable never *lowers*
+/// a configured count — a harness that needs many cases to mean
+/// anything keeps them.)
+pub fn effective_cases(config: &ProptestConfig) -> u32 {
+    let env = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(0);
+    config.cases.max(env)
+}
+
 /// Deterministic per-test RNG, seeded from the test name.
 pub fn runner_rng(test_name: &str) -> StdRng {
     let mut seed = 0xcbf29ce484222325u64;
@@ -226,13 +241,14 @@ macro_rules! __proptest_body {
         $(#[$meta])*
         fn $name() {
             let __config: $crate::ProptestConfig = $cfg;
+            let __cases = $crate::effective_cases(&__config);
             let mut __rng = $crate::runner_rng(stringify!($name));
             let __strategies = ($($strat,)*);
             let mut __accepted: u32 = 0;
             let mut __attempts: u32 = 0;
-            while __accepted < __config.cases {
+            while __accepted < __cases {
                 __attempts += 1;
-                $crate::check_rejection_budget(__attempts, __config.cases, stringify!($name));
+                $crate::check_rejection_budget(__attempts, __cases, stringify!($name));
                 let ($($binding,)*) =
                     $crate::Strategy::generate(&__strategies, &mut __rng);
                 let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
