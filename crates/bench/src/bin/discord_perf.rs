@@ -42,6 +42,12 @@
 //!   every reload asserted onto the bit-identical finish of the session
 //!   it was saved from;
 //! * **Ensemble** — `EnsembleDetector::detect`, serial vs parallel.
+//! * **Observability overhead** — the streaming schedule run
+//!   instrumented vs bare (`egi_obs::set_enabled(false)`), interleaved
+//!   min-of-N with alternating arm order, gated at < 3%
+//!   sustained-throughput overhead with both
+//!   arms bit-identical to batch STAMP; the suite-wide `egi-obs`
+//!   registry dump is embedded under the `"obs"` key.
 //!
 //! Writes `BENCH_discord.json` into the current directory (override with
 //! the first CLI argument) so successive PRs accumulate a perf
@@ -401,6 +407,74 @@ fn main() {
              \"catchup_secs\": {catchup_secs:.6} }}"
         ));
     }
+
+    // Observability overhead: the instrumented-vs-bare row. The same
+    // streaming schedule (middle chunk size) runs alternately with
+    // observability disabled via `egi_obs::set_enabled(false)` (bare —
+    // span timers stop reading the clock, which is the only per-unit
+    // cost the instrumentation adds) and enabled (instrumented, the
+    // default every other section runs under). Interleaved min-of-N
+    // per arm with the arm order alternating each rep — a fixed order
+    // would let any sustained slowdown across a rep (shared-box load,
+    // frequency decay) land entirely on the second arm and read as
+    // fake overhead. The gate asserts the sustained-throughput
+    // overhead stays under 3% and both arms' finished profiles are
+    // bit-identical to batch STAMP — instrumentation never touches
+    // the f64 path, so parity must hold by construction.
+    let obs_chunk = stream_chunks[1];
+    let obs_reps = if quick { 3usize } else { 5usize };
+    let run_streaming_schedule = |chunk: usize| {
+        let mut monitor = StreamingDiscordMonitor::with_exclusion(m, exclusion);
+        monitor.append(&series[..warm]);
+        monitor.run_for(usize::MAX);
+        let start = Instant::now();
+        for part in series[warm..].chunks(chunk) {
+            monitor.append(part);
+            monitor.run_for(part.len());
+        }
+        (start.elapsed().as_secs_f64(), monitor.finish())
+    };
+    let (mut bare_min, mut instr_min) = (f64::INFINITY, f64::INFINITY);
+    let (mut bare_finish, mut instr_finish) = (None, None);
+    for rep in 0..obs_reps {
+        for arm in 0..2 {
+            // rep 0: bare, instrumented; rep 1: instrumented, bare; …
+            if (rep + arm) % 2 == 0 {
+                egi_obs::set_enabled(false);
+                let (secs, finished) = run_streaming_schedule(obs_chunk);
+                bare_min = bare_min.min(secs);
+                bare_finish = Some(finished);
+            } else {
+                egi_obs::set_enabled(true);
+                let (secs, finished) = run_streaming_schedule(obs_chunk);
+                instr_min = instr_min.min(secs);
+                instr_finish = Some(finished);
+            }
+        }
+    }
+    egi_obs::set_enabled(true);
+    let (bare_finish, instr_finish) = (bare_finish.unwrap(), instr_finish.unwrap());
+    assert_eq!(
+        instr_finish.profile, bare_finish.profile,
+        "instrumented and bare runs must be bit-identical"
+    );
+    assert_eq!(instr_finish.index, bare_finish.index);
+    assert_eq!(
+        instr_finish.profile, fast_mp.profile,
+        "bit-parity gate must hold with instrumentation enabled"
+    );
+    let obs_overhead_frac = instr_min / bare_min - 1.0;
+    assert!(
+        obs_overhead_frac < 0.03,
+        "observability overhead {:.2}% exceeds the 3% budget \
+         (bare {bare_min:.4}s, instrumented {instr_min:.4}s)",
+        obs_overhead_frac * 100.0
+    );
+    eprintln!(
+        "OBS    chunk {obs_chunk:>4}: bare {bare_min:.3}s, instrumented {instr_min:.3}s, \
+         overhead {:.2}% (min of {obs_reps} interleaved)",
+        obs_overhead_frac * 100.0
+    );
 
     // Eviction: sliding-window steady state. Warm the monitor to
     // `retain` points, then stream the rest of the fixture as
@@ -837,6 +911,10 @@ fn main() {
         "ENSEMBLE {ens_len} pts, {ens_members} members: serial {ens_serial_secs:.3}s, parallel {ens_parallel_secs:.3}s"
     );
 
+    // The process-wide registry, as accumulated by every instrumented
+    // tier across the whole suite, embedded verbatim (compact JSON).
+    let obs_json = egi_obs::global().render_json();
+
     let json = format!(
         "{{\n  \"suite\": \"discord-perf\",\n  \"quick\": {quick},\n  \"host_cores\": {cores},\n  \
          \"mass\": {{\n    \"series_len\": {series_len},\n    \"m\": {m},\n    \"queries\": {nq},\n    \
@@ -866,7 +944,11 @@ fn main() {
          \"checkpoint\": {{\n    \"runs\": [\n{checkpoint_rows}\n    ]\n  }},\n  \
          \"ensemble\": {{\n    \"series_len\": {ens_len},\n    \"window\": {ens_window},\n    \
          \"members\": {ens_members},\n    \"serial_secs\": {ens_serial_secs:.6},\n    \
-         \"parallel_secs\": {ens_parallel_secs:.6}\n  }}\n}}\n",
+         \"parallel_secs\": {ens_parallel_secs:.6}\n  }},\n  \
+         \"obs_overhead\": {{\n    \"chunk\": {obs_chunk},\n    \"reps\": {obs_reps},\n    \
+         \"bare_secs\": {bare_min:.6},\n    \"instrumented_secs\": {instr_min:.6},\n    \
+         \"overhead_frac\": {obs_overhead_frac:.6}\n  }},\n  \
+         \"obs\": {obs_json}\n}}\n",
         nq = queries.len(),
         mass_speedup = mass_seed_secs / mass_pre_secs,
         seed_extrapolated = !full_seed,

@@ -136,6 +136,9 @@
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 
+/// The shared per-session telemetry snapshot, re-exported from
+/// [`egi_obs`] for callers of [`StreamingEnsembleDetector::metrics`].
+pub use egi_obs::SessionStats;
 use egi_sax::breakpoints::{MAX_ALPHABET, MIN_ALPHABET};
 use egi_sax::stream::PaaStream;
 use egi_sax::{MultiResBreakpoints, NumerosityReduced, SaxConfig, SaxWord};
@@ -265,6 +268,10 @@ pub struct StreamingEnsembleDetector {
     /// Epoch, stream offset, and retention bookkeeping — the
     /// [`StreamClock`] shared by every [`StreamSession`] implementor.
     clock: StreamClock,
+    /// Lifetime telemetry (appends, member refreshes, staleness) —
+    /// pure `u64` bookkeeping, outside the checkpoint payload and
+    /// every parity contract.
+    telemetry: SessionStats,
 }
 
 impl StreamingEnsembleDetector {
@@ -311,6 +318,7 @@ impl StreamingEnsembleDetector {
             members,
             stale: VecDeque::new(),
             clock: StreamClock::new(),
+            telemetry: SessionStats::default(),
         }
     }
 
@@ -396,6 +404,14 @@ impl StreamingEnsembleDetector {
         self.stale.is_empty()
     }
 
+    /// Lifetime telemetry for this detector: appends, evictions,
+    /// member refreshes served, and staleness (points appended since
+    /// the ensemble last caught up). Pure `u64` counters, deliberately
+    /// not part of checkpoints (a restored detector starts from zero).
+    pub fn metrics(&self) -> SessionStats {
+        self.telemetry
+    }
+
     /// Ingests new points. Never blocks on scoring work: the cost is
     /// the `O(c)` prefix-statistics extension plus `O(members)` queue
     /// bookkeeping; all discretization, grammar, and density work is
@@ -418,6 +434,7 @@ impl StreamingEnsembleDetector {
         if points.is_empty() {
             return;
         }
+        let span = egi_obs::SpanTimer::start();
         self.clock.record_append();
         self.series.extend_from_slice(points);
         self.stats.extend(points);
@@ -428,6 +445,9 @@ impl StreamingEnsembleDetector {
             self.evict(excess)
                 .expect("retention >= window leaves a viable suffix");
         }
+        self.telemetry
+            .record_append(points.len() as u64, self.stale.is_empty());
+        span.record(egi_obs::histogram!("egi_monitor_append_nanos"));
     }
 
     /// Retires the oldest `count` points from the live window. After
@@ -460,6 +480,7 @@ impl StreamingEnsembleDetector {
         if count == 0 {
             return Ok(());
         }
+        let span = egi_obs::SpanTimer::start();
         self.clock.record_evict(count);
         self.series.drain(..count);
         self.stats.rebase(&self.series);
@@ -491,6 +512,9 @@ impl StreamingEnsembleDetector {
         }
         self.stale.clear();
         self.stale.extend(0..self.members.len());
+        self.telemetry
+            .record_evict(count as u64, self.stale.is_empty());
+        span.record(egi_obs::histogram!("egi_monitor_evict_nanos"));
         Ok(())
     }
 
@@ -581,6 +605,7 @@ impl StreamingEnsembleDetector {
             target,
             len,
         );
+        self.telemetry.record_step(self.stale.is_empty());
         true
     }
 
@@ -640,6 +665,9 @@ impl StreamingEnsembleDetector {
             while self.step() {}
             return;
         }
+        self.telemetry.steps += self.stale.len() as u64;
+        self.telemetry.caught_up += 1;
+        self.telemetry.staleness_points = 0;
         self.stale.clear();
         let target = self.window_count();
         let len = self.series.len();

@@ -353,8 +353,10 @@ impl<T> PlanCache<T> {
         let tick = self.tick;
         if let Some((plan, last_used)) = self.entries.get_mut(&n) {
             *last_used = tick;
+            egi_obs::counter!("egi_fft_plan_cache_hits_total").inc();
             return Arc::clone(plan);
         }
+        egi_obs::counter!("egi_fft_plan_cache_misses_total").inc();
         let plan = Arc::new(build());
         self.entries.insert(n, (Arc::clone(&plan), tick));
         self.evict_to(capacity);
@@ -372,6 +374,7 @@ impl<T> PlanCache<T> {
                 .map(|(&size, _)| size)
                 .expect("cache over capacity is non-empty");
             self.entries.remove(&lru);
+            egi_obs::counter!("egi_fft_plan_cache_evictions_total").inc();
         }
     }
 }

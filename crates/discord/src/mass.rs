@@ -192,6 +192,7 @@ impl MassPrecomputed {
         if points.is_empty() {
             return;
         }
+        egi_obs::counter!("egi_mass_exact_retransforms_total").inc();
         let old_len = self.series.len();
         self.series.extend_from_slice(points);
         let (prefix, padded, fft_scratch) = match &mut self.append_state {
@@ -269,6 +270,7 @@ impl MassPrecomputed {
         if count == 0 {
             return;
         }
+        egi_obs::counter!("egi_mass_exact_retransforms_total").inc();
         assert!(
             count <= self.series.len() && self.series.len() - count >= self.m,
             "eviction of {count} points would leave fewer than m = {} of {}",
@@ -399,6 +401,7 @@ impl MassPrecomputed {
     /// `out`. Matches [`mass_self`] to ~1e-9 (the property tests pin the
     /// two paths together). No exclusion is applied.
     pub fn distance_profile_into(&self, q: usize, scratch: &mut MassScratch, out: &mut Vec<f64>) {
+        egi_obs::counter!("egi_mass_exact_queries_total").inc();
         self.sliding_dots_into(q, scratch, out);
         for (j, qt) in out.iter_mut().enumerate() {
             *qt = self.stats.dist(q, j, *qt);

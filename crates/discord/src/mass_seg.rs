@@ -587,6 +587,15 @@ impl SegmentedMass {
     pub fn rolling_profile_into(&self, q: usize, scratch: &mut SegScratch, out: &mut Vec<f64>) {
         let count = self.window_count();
         assert!(q < count, "query start {q} out of range ({count} windows)");
+        egi_obs::counter!("egi_mass_seg_queries_total").inc();
+        // A sequential successor query that only the chain cap keeps off
+        // the rolled path is a roll-chain reset (the error-growth guard
+        // forcing a fresh FFT seed).
+        if let Some((generation, last_q, chain)) = scratch.last {
+            if generation == self.generation && q == last_q + 1 && chain >= MAX_ROLL_CHAIN {
+                egi_obs::counter!("egi_mass_seg_roll_chain_resets_total").inc();
+            }
+        }
         let m = self.m as f64;
         let rolled = match scratch.last {
             Some((generation, last_q, chain))
@@ -603,11 +612,13 @@ impl SegmentedMass {
                 }
                 cov[0] = self.centered_dot(q, 0);
                 scratch.last = Some((self.generation, q, chain + 1));
+                egi_obs::counter!("egi_mass_seg_rolled_total").inc();
                 true
             }
             _ => false,
         };
         if !rolled {
+            egi_obs::counter!("egi_mass_seg_fft_seeded_total").inc();
             // Seed: per-block FFT dots, centered once. The subtraction
             // is the same `qt − m·μ_i·μ_j` the z-norm identity performs,
             // so the seed row's distances match the FFT path bit for bit.

@@ -144,6 +144,9 @@
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 
+/// The shared per-session telemetry snapshot, re-exported from
+/// [`egi_obs`] for callers of [`StreamingDiscordMonitor::metrics`].
+pub use egi_obs::SessionStats;
 /// The persistence contract implemented by the monitor, re-exported
 /// from [`egi_tskit::checkpoint`]: save at any point of an
 /// append/evict/step schedule, restore, replay the rest — the finished
@@ -235,6 +238,10 @@ pub struct StreamingDiscordMonitor {
     carry: Option<(Vec<f64>, Vec<usize>)>,
     scratch: EngineScratch,
     dp: Vec<f64>,
+    /// Lifetime telemetry (appends, queries served, staleness) — pure
+    /// `u64` bookkeeping, deliberately outside the checkpoint payload
+    /// and every parity contract.
+    stats: SessionStats,
 }
 
 impl StreamingDiscordMonitor {
@@ -282,6 +289,7 @@ impl StreamingDiscordMonitor {
             carry: None,
             scratch: EngineScratch::default(),
             dp: Vec::new(),
+            stats: SessionStats::default(),
         }
     }
 
@@ -392,6 +400,15 @@ impl StreamingDiscordMonitor {
         self.pending.is_empty()
     }
 
+    /// Lifetime telemetry for this monitor: appends, evictions,
+    /// queries served, and staleness (points appended since the fold
+    /// last caught up). Pure `u64` counters — reading or keeping them
+    /// never touches the numeric path — and deliberately not part of
+    /// checkpoints (a restored monitor starts from zero).
+    pub fn metrics(&self) -> SessionStats {
+        self.stats
+    }
+
     /// Deterministic processing order for `fresh` new queries of the
     /// current epoch: a seeded shuffle on the exact backend (anytime
     /// coverage spreads evenly), ascending on the segmented one (each
@@ -424,6 +441,7 @@ impl StreamingDiscordMonitor {
         if points.is_empty() {
             return;
         }
+        let span = egi_obs::SpanTimer::start();
         self.clock.record_append();
         self.ingest(points);
         let excess = self.clock.excess(self.series_len());
@@ -431,6 +449,9 @@ impl StreamingDiscordMonitor {
             self.evict(excess)
                 .expect("retention >= m leaves a viable suffix");
         }
+        self.stats
+            .record_append(points.len() as u64, self.pending.is_empty());
+        span.record(egi_obs::histogram!("egi_monitor_append_nanos"));
     }
 
     fn ingest(&mut self, points: &[f64]) {
@@ -517,6 +538,7 @@ impl StreamingDiscordMonitor {
         if count == 0 {
             return Ok(());
         }
+        let span = egi_obs::SpanTimer::start();
         let live = self.series_len();
         self.clock.record_evict(count);
         self.pending.clear();
@@ -540,6 +562,9 @@ impl StreamingDiscordMonitor {
             self.fold_index.resize(windows, usize::MAX);
             self.pending = self.epoch_order(0, windows).into();
         }
+        self.stats
+            .record_evict(count as u64, self.pending.is_empty());
+        span.record(egi_obs::histogram!("egi_monitor_evict_nanos"));
         Ok(())
     }
 
@@ -616,6 +641,7 @@ impl StreamingDiscordMonitor {
             // return the exact (batch-bit-identical) profile.
             self.carry = None;
         }
+        self.stats.record_step(self.pending.is_empty());
         true
     }
 
@@ -728,6 +754,9 @@ impl StreamingDiscordMonitor {
                 &index,
             );
         }
+        self.stats.steps += remaining.len() as u64;
+        self.stats.caught_up += 1;
+        self.stats.staleness_points = 0;
         self.done.extend(remaining);
         self.carry = None;
         self.snapshot()
@@ -954,6 +983,9 @@ impl Checkpoint for StreamingDiscordMonitor {
             carry,
             scratch: EngineScratch::default(),
             dp: Vec::new(),
+            // Telemetry describes a process, not resumable state: a
+            // restored monitor starts counting from zero.
+            stats: SessionStats::default(),
         };
         if let Some((generation, q, chain, cov)) = rolled {
             monitor

@@ -1,0 +1,279 @@
+//! Atomic metric primitives: counters, gauges, and fixed log2-bucket
+//! histograms.
+//!
+//! Everything here is `u64`-only on purpose: recording a metric never
+//! constructs, converts, or rounds a floating-point value, so
+//! instrumented code paths cannot perturb the crate-wide `f64`
+//! bit-parity contracts by construction. All atomics use relaxed
+//! ordering — metrics are monotonic advisory data, not
+//! synchronization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets: one for zero plus one per bit length
+/// (`1..=64`), so every `u64` maps to exactly one bucket.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The bucket a value lands in: `0` for zero, otherwise the value's
+/// bit length (`64 - leading_zeros`). Bucket `i ≥ 1` therefore holds
+/// the half-open power-of-two range `[2^(i-1), 2^i)`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i`: `0`, then `2^i - 1`, with the
+/// last bucket capped at `u64::MAX`.
+///
+/// # Panics
+///
+/// Panics if `i >= HISTOGRAM_BUCKETS`.
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    assert!(i < HISTOGRAM_BUCKETS, "bucket index {i} out of range");
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (wrapping, as all `u64` counters ultimately are).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (bench section isolation; not for hot paths).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-writer-wins atomic gauge for instantaneous levels
+/// (queue depths, live stream counts).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Overwrites the level.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the level by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lowers the level by `n`, saturating at zero.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A fixed-layout histogram over `u64` samples with log2 buckets:
+/// bucket 0 holds zeros, bucket `i` holds `[2^(i-1), 2^i)`. Recording
+/// is three relaxed `fetch_add`s — lock-free and allocation-free.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub const fn new() -> Self {
+        // `AtomicU64` is not `Copy`; a const item repeats per element.
+        // The interior mutability is exactly the point here — each
+        // array slot gets its own fresh atomic, nothing is shared.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wrapping).
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the full state. Concurrent recording
+    /// may make `count`/`sum`/buckets mutually slightly stale; each
+    /// field is individually consistent.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+
+    /// Resets all buckets, count, and sum to zero.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Owned copy of a [`Histogram`]'s state, with integer-only summary
+/// helpers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts, `HISTOGRAM_BUCKETS` entries.
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples (wrapping).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Integer mean (floor), zero when empty.
+    pub fn mean_floor(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper bound of the bucket holding the `numer/denom` quantile
+    /// (rank `ceil(count·numer/denom)`, clamped to `1..=count`).
+    /// Returns zero when empty. Integer arithmetic throughout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denom == 0`.
+    pub fn quantile_upper_bound(&self, numer: u64, denom: u64) -> u64 {
+        assert!(denom > 0, "quantile denominator must be positive");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((u128::from(self.count) * u128::from(numer)).div_ceil(u128::from(denom)))
+            .clamp(1, u128::from(self.count));
+        let mut cumulative = 0u128;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += u128::from(n);
+            if cumulative >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Upper bound of the highest non-empty bucket (an upper estimate
+    /// of the maximum sample), zero when empty.
+    pub fn max_upper_bound(&self) -> u64 {
+        self.buckets
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &n)| n > 0)
+            .map(|(i, _)| bucket_upper_bound(i))
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_counts() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 4, 8] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 15);
+        assert_eq!(s.quantile_upper_bound(1, 2), bucket_upper_bound(2));
+        assert_eq!(s.quantile_upper_bound(1, 1), bucket_upper_bound(4));
+        assert_eq!(s.max_upper_bound(), bucket_upper_bound(4));
+        assert_eq!(s.mean_floor(), 3);
+    }
+}

@@ -1,0 +1,252 @@
+//! The metric registry: named counters, gauges, histograms, and trace
+//! rings behind one mutex, with deterministic text expositions.
+//!
+//! The mutex guards only registration (name → handle lookup); every
+//! returned handle is an `Arc` whose recording operations are
+//! lock-free. Hot paths should resolve their handle once — the
+//! [`counter!`](crate::counter), [`gauge!`](crate::gauge),
+//! [`histogram!`](crate::histogram), and [`trace!`](crate::trace)
+//! macros cache the `Arc` in a per-call-site `OnceLock` so steady
+//! state is a single atomic load.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::metrics::{bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::trace::TraceRing;
+
+/// Default retained capacity for trace rings created through the
+/// registry.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<&'static str, Arc<Counter>>,
+    gauges: BTreeMap<&'static str, Arc<Gauge>>,
+    histograms: BTreeMap<&'static str, Arc<Histogram>>,
+    traces: BTreeMap<&'static str, Arc<TraceRing>>,
+}
+
+/// A named-metric registry. [`crate::global`] returns the process-wide
+/// instance; local instances are handy for golden tests.
+#[derive(Debug)]
+pub struct ObsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl Default for ObsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObsRegistry {
+    /// An empty registry (`const`, so it can back a plain `static`).
+    pub const fn new() -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                counters: BTreeMap::new(),
+                gauges: BTreeMap::new(),
+                histograms: BTreeMap::new(),
+                traces: BTreeMap::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// The counter registered under `name`, created on first use.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        Arc::clone(self.lock().counters.entry(name).or_default())
+    }
+
+    /// The gauge registered under `name`, created on first use.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        Arc::clone(self.lock().gauges.entry(name).or_default())
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        Arc::clone(self.lock().histograms.entry(name).or_default())
+    }
+
+    /// The trace ring registered under `name`, created on first use
+    /// with `capacity` retained events (an existing ring keeps its
+    /// original capacity).
+    pub fn trace(&self, name: &'static str, capacity: usize) -> Arc<TraceRing> {
+        Arc::clone(
+            self.lock()
+                .traces
+                .entry(name)
+                .or_insert_with(|| Arc::new(TraceRing::new(capacity))),
+        )
+    }
+
+    /// Zeroes every registered metric in place (handles stay valid)
+    /// and clears trace rings. For bench section isolation and tests.
+    pub fn reset(&self) {
+        let inner = self.lock();
+        for c in inner.counters.values() {
+            c.reset();
+        }
+        for g in inner.gauges.values() {
+            g.reset();
+        }
+        for h in inner.histograms.values() {
+            h.reset();
+        }
+        for t in inner.traces.values() {
+            t.clear();
+        }
+    }
+
+    /// A point-in-time copy of every registered metric, keyed by name
+    /// in sorted order.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.lock();
+        RegistrySnapshot {
+            counters: inner.counters.iter().map(|(&k, v)| (k, v.get())).collect(),
+            gauges: inner.gauges.iter().map(|(&k, v)| (k, v.get())).collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(&k, v)| (k, v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Prometheus text exposition (version 0.0.4 line format), metrics
+    /// in sorted name order so the output is byte-deterministic for a
+    /// given state. Histograms emit cumulative `_bucket{le="..."}`
+    /// lines for non-empty buckets (plus the mandatory `+Inf`),
+    /// `_sum`, and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().render_prometheus()
+    }
+
+    /// JSON object with sorted `counters`, `gauges`, and `histograms`
+    /// maps — the dump the `discord-perf` bench embeds into
+    /// BENCH_discord.json. Histogram buckets serialize as
+    /// `[upper_bound, cumulative_count]` pairs for non-empty buckets.
+    pub fn render_json(&self) -> String {
+        self.snapshot().render_json()
+    }
+}
+
+/// Owned, sorted copy of a registry's state (traces excluded — pull
+/// events from the ring handle directly).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<&'static str, u64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<&'static str, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// See [`ObsRegistry::render_prometheus`].
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                cumulative += n;
+                let le = bucket_upper_bound(i);
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+            out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", h.sum, h.count));
+        }
+        out
+    }
+
+    /// See [`ObsRegistry::render_json`].
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        push_scalar_map(&mut out, &self.counters);
+        out.push_str("},\"gauges\":{");
+        push_scalar_map(&mut out, &self.gauges);
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{name}\":{{\"count\":{},\"sum\":{},\"buckets\":[",
+                h.count, h.sum
+            ));
+            let mut cumulative = 0u64;
+            let mut first = true;
+            for (b, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                cumulative += n;
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!("[{},{cumulative}]", bucket_upper_bound(b)));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn push_scalar_map(out: &mut String, map: &BTreeMap<&'static str, u64>) {
+    for (i, (name, value)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{name}\":{value}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_per_name() {
+        let reg = ObsRegistry::new();
+        let a = reg.counter("x_total");
+        let b = reg.counter("x_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("x_total").get(), 3);
+        reg.reset();
+        assert_eq!(a.get(), 0);
+    }
+
+    #[test]
+    fn json_is_sorted_and_compact() {
+        let reg = ObsRegistry::new();
+        reg.counter("b_total").add(2);
+        reg.counter("a_total").inc();
+        reg.gauge("g").set(7);
+        reg.histogram("h_nanos").record(5);
+        assert_eq!(
+            reg.render_json(),
+            "{\"counters\":{\"a_total\":1,\"b_total\":2},\"gauges\":{\"g\":7},\
+             \"histograms\":{\"h_nanos\":{\"count\":1,\"sum\":5,\"buckets\":[[7,1]]}}}"
+        );
+    }
+}

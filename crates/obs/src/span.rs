@@ -1,0 +1,85 @@
+//! Span timers: measure a region's wall time in integer nanoseconds
+//! and feed it to a latency [`Histogram`](crate::Histogram).
+//!
+//! Timers respect the global [`enabled`](crate::enabled) switch at
+//! start time: when observability is off, [`SpanTimer::start`] skips
+//! the clock read entirely, so "bare" runs pay nothing but a relaxed
+//! atomic load per span.
+
+use std::time::Instant;
+
+use crate::Histogram;
+
+/// A started span. Stop it with [`record`](Self::record) to add the
+/// elapsed nanoseconds to a histogram, or read
+/// [`elapsed_nanos`](Self::elapsed_nanos) directly.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a span that is never stopped measures nothing"]
+pub struct SpanTimer {
+    start: Option<Instant>,
+}
+
+impl SpanTimer {
+    /// Starts a span — a no-op (no clock read) when observability is
+    /// globally disabled.
+    #[inline]
+    pub fn start() -> Self {
+        Self {
+            start: crate::enabled().then(Instant::now),
+        }
+    }
+
+    /// A span that never records, regardless of the global switch.
+    pub const fn disabled() -> Self {
+        Self { start: None }
+    }
+
+    /// Whether this span is live (observability was enabled at start).
+    pub fn is_live(&self) -> bool {
+        self.start.is_some()
+    }
+
+    /// Nanoseconds since start, saturating at `u64::MAX`; `None` when
+    /// the span was started disabled.
+    #[inline]
+    pub fn elapsed_nanos(&self) -> Option<u64> {
+        self.start
+            .map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    }
+
+    /// Stops the span, recording the elapsed nanoseconds into
+    /// `histogram`. Returns the recorded value (zero when disabled).
+    #[inline]
+    pub fn record(self, histogram: &Histogram) -> u64 {
+        match self.elapsed_nanos() {
+            Some(nanos) => {
+                histogram.record(nanos);
+                nanos
+            }
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let h = Histogram::new();
+        let span = SpanTimer::disabled();
+        assert!(!span.is_live());
+        assert_eq!(span.record(&h), 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn live_span_records_one_sample() {
+        let h = Histogram::new();
+        let span = SpanTimer::start();
+        assert!(span.is_live());
+        span.record(&h);
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Per-session counters shared by every streaming monitor.
+//!
+//! Each `StreamSession` implementation embeds one [`SessionStats`]
+//! value (plain `u64` fields, no atomics — sessions are `&mut self`
+//! state machines) and returns a copy from its `metrics()` accessor.
+//! The struct is deliberately not serialized into checkpoints:
+//! telemetry describes a process, not the resumable numeric state.
+
+/// Lifetime counters for one streaming session, updated in-place by
+/// the session's `append`/`evict`/`step` paths.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// `append` calls.
+    pub appends: u64,
+    /// Points ingested across all appends.
+    pub points_appended: u64,
+    /// `evict`/retention trims that removed at least one point.
+    pub evictions: u64,
+    /// Points retired across all evictions.
+    pub points_evicted: u64,
+    /// Completed `step()` units (queries served).
+    pub steps: u64,
+    /// Times the pending queue drained to empty (the session caught
+    /// up with its inputs).
+    pub caught_up: u64,
+    /// Staleness: points appended since the session last caught up.
+    /// Zero while current; grows with every append until the next
+    /// drain.
+    pub staleness_points: u64,
+}
+
+impl SessionStats {
+    /// Records an append of `points` raw points; `now_current` is
+    /// whether the session has no pending work afterwards (e.g. still
+    /// warming up), in which case nothing is stale.
+    #[inline]
+    pub fn record_append(&mut self, points: u64, now_current: bool) {
+        self.appends += 1;
+        self.points_appended += points;
+        if now_current {
+            self.staleness_points = 0;
+        } else {
+            self.staleness_points += points;
+        }
+    }
+
+    /// Records an eviction of `points` raw points; `now_current` is
+    /// whether the session has no pending work afterwards.
+    #[inline]
+    pub fn record_evict(&mut self, points: u64, now_current: bool) {
+        if points > 0 {
+            self.evictions += 1;
+            self.points_evicted += points;
+        }
+        if now_current {
+            self.staleness_points = 0;
+        }
+    }
+
+    /// Records one completed `step()` unit; `now_current` is whether
+    /// the pending queue drained to empty with this unit.
+    #[inline]
+    pub fn record_step(&mut self, now_current: bool) {
+        self.steps += 1;
+        if now_current {
+            self.caught_up += 1;
+            self.staleness_points = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staleness_resets_when_caught_up() {
+        let mut s = SessionStats::default();
+        s.record_append(10, false);
+        s.record_append(5, false);
+        assert_eq!(s.staleness_points, 15);
+        s.record_step(false);
+        assert_eq!(s.staleness_points, 15);
+        s.record_step(true);
+        assert_eq!(s.staleness_points, 0);
+        assert_eq!(s.caught_up, 1);
+        assert_eq!(s.steps, 2);
+        s.record_append(3, false);
+        s.record_evict(2, true);
+        assert_eq!(s.staleness_points, 0);
+        assert_eq!(s.evictions, 1);
+        s.record_evict(0, false);
+        assert_eq!(s.evictions, 1);
+    }
+}

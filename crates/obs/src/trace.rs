@@ -1,0 +1,109 @@
+//! A bounded ring buffer of scheduler-decision events.
+//!
+//! The serving fleet pushes one event per scheduling decision (which
+//! stream ran, what was left pending); the ring keeps the most recent
+//! `capacity` so a stalled or unfair schedule can be reconstructed
+//! after the fact without unbounded memory.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One traced decision: a static tag plus two `u64` operands whose
+/// meaning the tag defines (e.g. stream id and pending units).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number across the ring's lifetime.
+    pub seq: u64,
+    /// Static label naming the decision kind.
+    pub tag: &'static str,
+    /// First operand (tag-defined).
+    pub a: u64,
+    /// Second operand (tag-defined).
+    pub b: u64,
+}
+
+/// Fixed-capacity event ring. Pushes take a short mutex critical
+/// section (one `VecDeque` rotation); reads copy the events out.
+#[derive(Debug)]
+pub struct TraceRing {
+    capacity: usize,
+    events: Mutex<VecDeque<TraceEvent>>,
+    pushed: AtomicU64,
+}
+
+impl TraceRing {
+    /// A ring retaining the `capacity.max(1)` most recent events.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            events: Mutex::new(VecDeque::with_capacity(capacity)),
+            pushed: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&self, tag: &'static str, a: u64, b: u64) {
+        let seq = self.pushed.fetch_add(1, Ordering::Relaxed);
+        let mut events = lock(&self.events);
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(TraceEvent { seq, tag, a, b });
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        lock(&self.events).iter().copied().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        lock(&self.events).len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever pushed (retained + evicted).
+    pub fn pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Drops all retained events (the sequence counter keeps going).
+    pub fn clear(&self) {
+        lock(&self.events).clear();
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let ring = TraceRing::new(3);
+        for i in 0..5u64 {
+            ring.push("unit", i, 10 + i);
+        }
+        let events: Vec<_> = ring.events().iter().map(|e| (e.seq, e.a)).collect();
+        assert_eq!(events, vec![(2, 2), (3, 3), (4, 4)]);
+        assert_eq!(ring.pushed(), 5);
+        assert_eq!(ring.len(), 3);
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.pushed(), 5);
+    }
+}

@@ -47,6 +47,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::{Read, Write};
+use std::time::{Duration, Instant};
 
 /// The persistence contract implemented by the fleet, re-exported from
 /// [`egi_tskit::checkpoint`]: when `S` itself implements [`Checkpoint`],
@@ -109,6 +110,54 @@ pub struct TickReport {
     pub flushed_points: usize,
     /// Refresh units the fair-share scheduler ran.
     pub units: usize,
+    /// Wall time the whole tick took (flush + refresh).
+    pub elapsed: Duration,
+    /// Most units any single stream received this tick — with `d`
+    /// dirty streams and `u` units, fair-share bounds this by
+    /// `⌈u/d⌉` while every stream stays dirty.
+    pub max_stream_units: usize,
+}
+
+/// A point-in-time snapshot of the fleet's own telemetry, returned by
+/// [`Fleet::metrics`]. Lifetime counters accumulate across the fleet's
+/// life (they are *not* checkpointed — telemetry describes a process,
+/// not resumable state, so a restored fleet starts from zero); the
+/// `streams`/`dirty_streams`/`pending_units`/`buffered_points` fields
+/// are derived from live state at snapshot time.
+///
+/// The coalescing ratio of the batched front door is
+/// `ingest_calls / coalesced_appends` (both kept as `u64` so the
+/// division — and any float — is the caller's choice).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetObs {
+    /// Live streams at snapshot time.
+    pub streams: u64,
+    /// Streams currently in the refresh rotation.
+    pub dirty_streams: u64,
+    /// Pending refresh units across all streams (flushed work only).
+    pub pending_units: u64,
+    /// Points buffered across all inboxes, not yet flushed.
+    pub buffered_points: u64,
+    /// [`Fleet::tick`] calls.
+    pub ticks: u64,
+    /// Refresh units run, across all `refresh`/`tick` calls.
+    pub units_total: u64,
+    /// Buffered points coalesced into appends by flushes.
+    pub flushed_points_total: u64,
+    /// [`Fleet::ingest`] calls (coalescing-ratio numerator).
+    pub ingest_calls: u64,
+    /// Points buffered by ingest calls.
+    pub ingested_points: u64,
+    /// Non-empty flushes, i.e. coalesced appends the sessions saw
+    /// (coalescing-ratio denominator).
+    pub coalesced_appends: u64,
+    /// Wall-clock refresh deadlines observed past their instant after
+    /// the loop exited (each bounded by one unit's work). Only
+    /// observed while [`egi_obs::enabled`] — detection reads the
+    /// clock.
+    pub deadline_overshoots: u64,
+    /// `max_stream_units` of the most recent tick.
+    pub last_tick_max_stream_units: u64,
 }
 
 /// One managed stream: its session, its ingest buffer, and whether it
@@ -121,6 +170,11 @@ struct Slot<S> {
     inbox: Vec<f64>,
     /// `true` iff the stream's id is in the rotation queue.
     dirty: bool,
+    /// When the scheduler last serviced this stream, while it stays in
+    /// the rotation — feeds the wait-for-turn histogram that makes the
+    /// starvation bound observable. Cleared when the stream leaves the
+    /// rotation; only maintained while [`egi_obs::enabled`].
+    last_service: Option<Instant>,
 }
 
 /// A manager for many independent [`StreamSession`]s — batched ingest,
@@ -137,6 +191,10 @@ pub struct Fleet<S: StreamSession> {
     rotation: VecDeque<StreamId>,
     /// Total points currently buffered across all inboxes.
     buffered: usize,
+    /// Lifetime telemetry counters; the live-derived [`FleetObs`]
+    /// fields stay zero here and are filled by [`Fleet::metrics`].
+    /// Deliberately not checkpointed.
+    obs: FleetObs,
 }
 
 impl<S: StreamSession> Default for Fleet<S> {
@@ -153,6 +211,7 @@ impl<S: StreamSession> Fleet<S> {
             order: Vec::new(),
             rotation: VecDeque::new(),
             buffered: 0,
+            obs: FleetObs::default(),
         }
     }
 
@@ -200,6 +259,7 @@ impl<S: StreamSession> Fleet<S> {
                 session,
                 inbox: Vec::new(),
                 dirty,
+                last_service: None,
             },
         );
         self.order.push(id);
@@ -259,6 +319,8 @@ impl<S: StreamSession> Fleet<S> {
             .ok_or(FleetError::UnknownStream { id })?;
         slot.inbox.extend_from_slice(points);
         self.buffered += points.len();
+        self.obs.ingest_calls += 1;
+        self.obs.ingested_points += points.len() as u64;
         Ok(())
     }
 
@@ -295,6 +357,8 @@ impl<S: StreamSession> Fleet<S> {
             slot.session.append(&slot.inbox);
             slot.inbox.clear();
             self.buffered -= n;
+            self.obs.coalesced_appends += 1;
+            self.obs.flushed_points_total += n as u64;
             Self::sync_rotation(&mut self.rotation, id, slot);
         }
         Ok(n)
@@ -379,6 +443,7 @@ impl<S: StreamSession> Fleet<S> {
         let report = slot.session.finish();
         if slot.dirty {
             slot.dirty = false;
+            slot.last_service = None;
             self.rotation.retain(|&r| r != id);
         }
         Ok(report)
@@ -404,34 +469,99 @@ impl<S: StreamSession> Fleet<S> {
     /// one unit per dirty stream per rotation, deadline checked before
     /// each unit.
     pub fn refresh(&mut self, deadline: Deadline) -> usize {
+        self.refresh_counted(deadline).0
+    }
+
+    /// The refresh loop, additionally reporting the most units any
+    /// single stream received (the fair-share ⌈u/d⌉ bound, made
+    /// observable).
+    fn refresh_counted(&mut self, deadline: Deadline) -> (usize, usize) {
+        let obs_on = egi_obs::enabled();
         let mut units = 0;
+        let mut max_stream_units = 0;
+        let mut per_stream: FxHashMap<StreamId, usize> = FxHashMap::default();
         while !deadline.expired(units) {
             let Some(id) = self.rotation.pop_front() else {
                 break;
             };
             let slot = self.slots.get_mut(&id).expect("rotation holds live ids");
+            if obs_on {
+                let now = Instant::now();
+                if let Some(last) = slot.last_service {
+                    egi_obs::histogram!("egi_fleet_wait_for_turn_nanos")
+                        .record(u64::try_from((now - last).as_nanos()).unwrap_or(u64::MAX));
+                }
+                slot.last_service = Some(now);
+            }
             if slot.session.step() {
                 units += 1;
+                let served = per_stream.entry(id).or_insert(0);
+                *served += 1;
+                max_stream_units = max_stream_units.max(*served);
             }
             if slot.session.pending_units() > 0 {
                 self.rotation.push_back(id);
             } else {
                 slot.dirty = false;
+                slot.last_service = None;
+                if obs_on {
+                    let served = per_stream.get(&id).copied().unwrap_or(0);
+                    egi_obs::trace!("egi_fleet_scheduler").push("drained", id, served as u64);
+                }
             }
         }
-        units
+        self.obs.units_total += units as u64;
+        if obs_on {
+            egi_obs::counter!("egi_fleet_refresh_units_total").add(units as u64);
+            if let Some(overshoot) = deadline.overshoot_nanos() {
+                self.obs.deadline_overshoots += 1;
+                egi_obs::counter!("egi_fleet_deadline_overshoots_total").inc();
+                egi_obs::histogram!("egi_fleet_deadline_overshoot_nanos").record(overshoot);
+            }
+            egi_obs::gauge!("egi_fleet_dirty_streams").set(self.rotation.len() as u64);
+            egi_obs::gauge!("egi_fleet_pending_units").set(self.pending_units() as u64);
+            egi_obs::trace!("egi_fleet_scheduler").push(
+                "refresh",
+                units as u64,
+                self.rotation.len() as u64,
+            );
+        }
+        (units, max_stream_units)
     }
 
     /// One serving tick: flush every stream's ingest buffer (one
     /// coalesced append per stream), then spread `deadline` across the
     /// dirty streams via [`refresh`](Self::refresh).
     pub fn tick(&mut self, deadline: Deadline) -> TickReport {
+        let start = Instant::now();
         let flushed_points = self.flush_all();
-        let units = self.refresh(deadline);
+        let (units, max_stream_units) = self.refresh_counted(deadline);
+        let elapsed = start.elapsed();
+        self.obs.ticks += 1;
+        self.obs.last_tick_max_stream_units = max_stream_units as u64;
+        if egi_obs::enabled() {
+            egi_obs::counter!("egi_fleet_ticks_total").inc();
+            egi_obs::histogram!("egi_fleet_tick_nanos")
+                .record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+            egi_obs::histogram!("egi_fleet_tick_units").record(units as u64);
+        }
         TickReport {
             flushed_points,
             units,
+            elapsed,
+            max_stream_units,
         }
+    }
+
+    /// The fleet's own telemetry: lifetime scheduling counters plus
+    /// live gauges, snapshotted at call time. See [`FleetObs`].
+    pub fn metrics(&self) -> FleetObs {
+        let mut m = self.obs;
+        m.streams = self.order.len() as u64;
+        m.dirty_streams = self.rotation.len() as u64;
+        m.pending_units = self.pending_units() as u64;
+        m.buffered_points = self.buffered as u64;
+        m
     }
 }
 
@@ -445,6 +575,7 @@ impl<S: StreamSession> Fleet<S> {
             rotation.push_back(id);
         } else if !pending && slot.dirty {
             slot.dirty = false;
+            slot.last_service = None;
             rotation.retain(|&r| r != id);
         }
     }
@@ -469,6 +600,7 @@ impl<S: StreamSession + Send> Fleet<S> {
             .map(|&id| {
                 let slot = self.slots.get_mut(&id).expect("order holds live ids");
                 slot.dirty = false;
+                slot.last_service = None;
                 (id, slot.session.finish())
             })
             .collect()
@@ -491,7 +623,9 @@ const CKPT_STREAM_VERSION: u32 = 1;
 /// session's own checkpoint (opaque bytes, validated by `S`'s loader)
 /// next to its ingest buffer; the per-slot dirty flag is re-derived
 /// from rotation membership and cross-checked against the restored
-/// session's pending work.
+/// session's pending work. The [`FleetObs`] telemetry counters are
+/// deliberately **not** saved — they describe a process, not resumable
+/// state — so a restored fleet's [`Fleet::metrics`] starts from zero.
 impl<S: StreamSession + Checkpoint> Checkpoint for Fleet<S> {
     fn save_checkpoint(&self, writer: &mut impl Write) -> Result<(), CheckpointError> {
         let mut out = CheckpointWriter::begin(writer, 1 + self.order.len() as u32)?;
@@ -568,6 +702,7 @@ impl<S: StreamSession + Checkpoint> Checkpoint for Fleet<S> {
                     session,
                     inbox,
                     dirty,
+                    last_service: None,
                 },
             );
             fleet.order.push(id);
@@ -593,6 +728,8 @@ mod tests {
         retention: Option<usize>,
         /// Length of every `append` call, in order.
         appends: Vec<usize>,
+        /// Artificial per-unit cost, for deadline-overshoot tests.
+        step_delay: Option<std::time::Duration>,
     }
 
     impl MockSession {
@@ -621,6 +758,9 @@ mod tests {
         fn step(&mut self) -> bool {
             if self.cursor == self.live.len() {
                 return false;
+            }
+            if let Some(delay) = self.step_delay {
+                std::thread::sleep(delay);
             }
             self.cursor += 1;
             true
@@ -701,6 +841,7 @@ mod tests {
                 offset,
                 retention,
                 appends,
+                step_delay: None,
             })
         }
     }
@@ -757,18 +898,18 @@ mod tests {
         // The session has seen nothing yet…
         assert!(fleet.session(0).unwrap().appends.is_empty());
         let report = fleet.tick(Deadline::unbounded());
-        assert_eq!(
-            report,
-            TickReport {
-                flushed_points: 10,
-                units: 10
-            }
-        );
+        assert_eq!(report.flushed_points, 10);
+        assert_eq!(report.units, 10);
+        assert_eq!(report.max_stream_units, 10, "single stream got them all");
+        assert!(report.elapsed > Duration::ZERO);
         // …and the 10 dribbles arrived as ONE append.
         assert_eq!(fleet.session(0).unwrap().appends, vec![10]);
         assert_eq!(fleet.buffered(), 0);
         // An empty tick flushes and runs nothing.
-        assert_eq!(fleet.tick(Deadline::unbounded()), TickReport::default());
+        let idle = fleet.tick(Deadline::unbounded());
+        assert_eq!(idle.flushed_points, 0);
+        assert_eq!(idle.units, 0);
+        assert_eq!(idle.max_stream_units, 0);
     }
 
     #[test]
@@ -942,6 +1083,101 @@ mod tests {
         let target = flipped.len() - 20;
         flipped[target] ^= 0x80;
         assert!(Fleet::<MockSession>::from_checkpoint_bytes(&flipped).is_err());
+    }
+
+    #[test]
+    fn metrics_track_ingest_coalescing_and_scheduling() {
+        let mut fleet: Fleet<MockSession> = Fleet::new();
+        fleet.create(0, MockSession::default()).unwrap();
+        fleet.create(1, MockSession::default()).unwrap();
+        for _ in 0..8 {
+            fleet.ingest(0, &[1.0]).unwrap();
+        }
+        fleet.ingest(1, &[2.0; 4]).unwrap();
+        let m = fleet.metrics();
+        assert_eq!(m.streams, 2);
+        assert_eq!(m.buffered_points, 12);
+        assert_eq!(m.ingest_calls, 9);
+        assert_eq!(m.ingested_points, 12);
+        assert_eq!(m.coalesced_appends, 0, "nothing flushed yet");
+
+        let report = fleet.tick(Deadline::queries(5));
+        assert_eq!(report.flushed_points, 12);
+        let m = fleet.metrics();
+        assert_eq!(m.ticks, 1);
+        assert_eq!(m.units_total, 5);
+        assert_eq!(m.flushed_points_total, 12);
+        // 9 ingest calls reached the sessions as 2 coalesced appends.
+        assert_eq!(m.coalesced_appends, 2);
+        assert_eq!(m.buffered_points, 0);
+        assert_eq!(m.dirty_streams, 2);
+        assert_eq!(m.pending_units, 12 - 5);
+        assert_eq!(m.last_tick_max_stream_units, 3, "⌈5/2⌉");
+
+        fleet.finish_all();
+        let m = fleet.metrics();
+        assert_eq!(m.dirty_streams, 0);
+        assert_eq!(m.pending_units, 0);
+    }
+
+    #[test]
+    fn max_stream_units_reports_the_fair_share_ceiling() {
+        // One stream with 5 units, one with 1: an unbounded tick runs
+        // all 6, and the big stream's 5 is the per-stream max.
+        let mut fleet: Fleet<MockSession> = Fleet::new();
+        fleet.create(0, MockSession::with_pending(5)).unwrap();
+        fleet.create(1, MockSession::with_pending(1)).unwrap();
+        let report = fleet.tick(Deadline::unbounded());
+        assert_eq!(report.units, 6);
+        assert_eq!(report.max_stream_units, 5);
+        // With both streams dirty throughout, a budget of 4 splits
+        // ⌈4/2⌉ = 2 / ⌊4/2⌋ = 2 — the ceiling bound, observable.
+        let mut fleet = fleet_of(2, 10);
+        let report = fleet.tick(Deadline::queries(4));
+        assert_eq!(report.units, 4);
+        assert_eq!(report.max_stream_units, 2);
+    }
+
+    /// Satellite regression test: the fleet checks the deadline only
+    /// between units, so a wall-clock deadline is overshot by at most
+    /// ONE unit's work — pinned here with a deliberately slow session.
+    #[test]
+    fn wall_deadline_overshoot_is_bounded_by_one_step_unit() {
+        const UNIT: Duration = Duration::from_millis(25);
+        const BUDGET: Duration = Duration::from_millis(10);
+        let mut fleet: Fleet<MockSession> = Fleet::new();
+        let mut slow = MockSession::with_pending(64);
+        slow.step_delay = Some(UNIT);
+        fleet.create(0, slow).unwrap();
+
+        let overshoots_before = egi_obs::global()
+            .counter("egi_fleet_deadline_overshoots_total")
+            .get();
+        let start = Instant::now();
+        let units = fleet.refresh(Deadline::after(BUDGET));
+        let elapsed = start.elapsed();
+
+        // The deadline expired mid-backlog (64 units × 25 ms ≫ 10 ms),
+        // yet the loop stopped within one unit of the budget. The
+        // extra UNIT of slack absorbs scheduler noise on a busy box;
+        // two full units past the budget would mean the contract broke.
+        assert!(fleet.pending_units() > 0, "deadline cut the backlog");
+        assert!(
+            units <= 2,
+            "budget only covers the first check, ran {units}"
+        );
+        assert!(
+            elapsed < BUDGET + 2 * UNIT,
+            "overshoot exceeded one unit's work: {elapsed:?}"
+        );
+        if units > 0 {
+            // The overshoot was observed and recorded as a metric.
+            let overshoots_after = egi_obs::global()
+                .counter("egi_fleet_deadline_overshoots_total")
+                .get();
+            assert!(overshoots_after > overshoots_before);
+            assert_eq!(fleet.metrics().deadline_overshoots, 1);
+        }
     }
 
     #[test]

@@ -73,4 +73,4 @@
 
 pub mod fleet;
 
-pub use fleet::{Fleet, FleetError, StreamId, TickReport};
+pub use fleet::{Fleet, FleetError, FleetObs, StreamId, TickReport};

@@ -204,15 +204,37 @@ pub trait Checkpoint: Sized {
     fn load_checkpoint(reader: &mut impl Read) -> Result<Self, CheckpointError>;
 
     /// Convenience: the checkpoint as an in-memory byte buffer.
+    ///
+    /// Records `egi_checkpoint_save_*` metrics (count, bytes,
+    /// duration) into the global egi-obs registry.
     fn checkpoint_bytes(&self) -> Result<Vec<u8>, CheckpointError> {
+        let span = egi_obs::SpanTimer::start();
         let mut bytes = Vec::new();
         self.save_checkpoint(&mut bytes)?;
+        if egi_obs::enabled() {
+            egi_obs::counter!("egi_checkpoint_saves_total").inc();
+            egi_obs::counter!("egi_checkpoint_save_bytes_total").add(bytes.len() as u64);
+            egi_obs::histogram!("egi_checkpoint_save_bytes").record(bytes.len() as u64);
+            span.record(egi_obs::histogram!("egi_checkpoint_save_nanos"));
+        }
         Ok(bytes)
     }
 
     /// Convenience: restore from an in-memory byte buffer.
+    ///
+    /// Records `egi_checkpoint_load_*` metrics (count, bytes,
+    /// duration) into the global egi-obs registry.
     fn from_checkpoint_bytes(mut bytes: &[u8]) -> Result<Self, CheckpointError> {
-        Self::load_checkpoint(&mut bytes)
+        let span = egi_obs::SpanTimer::start();
+        let len = bytes.len() as u64;
+        let restored = Self::load_checkpoint(&mut bytes)?;
+        if egi_obs::enabled() {
+            egi_obs::counter!("egi_checkpoint_loads_total").inc();
+            egi_obs::counter!("egi_checkpoint_load_bytes_total").add(len);
+            egi_obs::histogram!("egi_checkpoint_load_bytes").record(len);
+            span.record(egi_obs::histogram!("egi_checkpoint_load_nanos"));
+        }
+        Ok(restored)
     }
 }
 

@@ -93,6 +93,21 @@ impl Deadline {
     pub fn expired(&self, processed: usize) -> bool {
         processed >= self.max_queries || self.at.is_some_and(|at| Instant::now() >= at)
     }
+
+    /// How far past the wall-clock instant the clock has run, in
+    /// integer nanoseconds (saturating). `None` when this deadline has
+    /// no wall-clock bound or the instant has not been reached yet.
+    /// Drivers call this after their loop exits to report observed
+    /// overshoot — which the check-before-each-unit contract bounds by
+    /// one unit's work.
+    pub fn overshoot_nanos(&self) -> Option<u64> {
+        let at = self.at?;
+        let now = Instant::now();
+        if now < at {
+            return None;
+        }
+        Some(u64::try_from((now - at).as_nanos()).unwrap_or(u64::MAX))
+    }
 }
 
 #[cfg(test)]

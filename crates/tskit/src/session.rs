@@ -120,10 +120,29 @@ pub trait StreamSession {
     /// checked **before** each unit, so a wall-clock deadline is
     /// overshot by at most one unit and an already-expired deadline
     /// runs zero units.
+    ///
+    /// Each unit's wall time lands in the `egi_session_step_nanos`
+    /// histogram, and any wall-clock overshoot on exit in
+    /// `egi_session_deadline_overshoot_nanos` (integer nanoseconds
+    /// only — see egi-obs's never-touches-f64 invariant). Disable with
+    /// [`egi_obs::set_enabled`]`(false)`.
     fn run_until(&mut self, deadline: Deadline) -> usize {
         let mut ran = 0;
-        while !deadline.expired(ran) && self.step() {
+        while !deadline.expired(ran) {
+            let span = egi_obs::SpanTimer::start();
+            if !self.step() {
+                break;
+            }
+            span.record(egi_obs::histogram!("egi_session_step_nanos"));
             ran += 1;
+        }
+        if egi_obs::enabled() {
+            if let Some(overshoot) = deadline.overshoot_nanos() {
+                egi_obs::counter!("egi_session_deadline_overshoots_total").inc();
+                egi_obs::histogram!("egi_session_deadline_overshoot_nanos").record(overshoot);
+            }
+            egi_obs::histogram!("egi_session_pending_after_run_units")
+                .record(self.pending_units() as u64);
         }
         ran
     }
