@@ -637,7 +637,14 @@ fn main() {
     // streaming the second half of the fixture. Each run's finished
     // report is asserted bit-identical to batch EnsembleDetector::detect
     // (scores, ranked indices, tie-breaks, curve), so the CI perf smoke
-    // fails on any streaming/batch ensemble divergence.
+    // fails on any streaming/batch ensemble divergence. Refreshes are
+    // served by the incremental density-delta path, so two extra gates
+    // run in the same breath: a mid-stream parity assert (the
+    // delta-maintained curves must equal from-scratch
+    // `from_occurrences` rebuilds bit-for-bit — exactness, not time)
+    // and a steady-state delta-vs-rebuild refresh-cost comparison (a
+    // full-ensemble rebuild is exactly what the pre-delta refresh paid
+    // per append; the full run gates the speedup at >= 5x).
     let (es_window, es_members) = if quick { (64, 8) } else { (256, 10) };
     let es_seed = 1u64;
     let es_config = EnsembleConfig {
@@ -648,13 +655,17 @@ fn main() {
     let es_reference = EnsembleDetector::new(es_config).detect(&series, 3, es_seed);
     let mut es_rows = Vec::new();
     for &chunk in &stream_chunks {
+        let deltas_before = egi_obs::counter!("egi_core_density_deltas_applied_total").get();
+        let coverage_before =
+            egi_obs::counter!("egi_core_density_delta_coverage_points_total").get();
+        let equiv_before = egi_obs::counter!("egi_core_density_rebuild_equiv_points_total").get();
         let mut detector = StreamingEnsembleDetector::new(es_config, es_seed);
         detector.append(&series[..warm]);
         let (es_warm_secs, _) = seconds(|| detector.run_for(usize::MAX));
         let mut append_secs = 0.0f64;
         let mut appends = 0usize;
         let (mut refresh_total, mut refresh_max) = (0.0f64, 0.0f64);
-        for part in series[warm..].chunks(chunk) {
+        for (i, part) in series[warm..].chunks(chunk).enumerate() {
             let (a, ()) = seconds(|| detector.append(part));
             append_secs += a;
             appends += 1;
@@ -663,7 +674,23 @@ fn main() {
             assert_eq!(ran, es_members, "every member refreshes once per append");
             refresh_total += r;
             refresh_max = refresh_max.max(r);
+            // In-run parity gate, off the timed path: sampled so the
+            // oracle rebuild doesn't dominate the run.
+            if i % 8 == 0 {
+                assert!(
+                    detector.delta_curves_match_rebuild(),
+                    "delta curve diverged from rebuild mid-stream (chunk {chunk}, append {i})"
+                );
+            }
         }
+        // Steady-state rebuild-equivalent cost: one from-scratch
+        // rebuild of every member curve, with parity asserted by the
+        // same call.
+        let (rebuild_secs, parity) = seconds(|| detector.delta_curves_match_rebuild());
+        assert!(
+            parity,
+            "delta curve diverged from rebuild at steady state (chunk {chunk})"
+        );
         let (finish_secs, report) = seconds(|| detector.finish(3));
         assert_eq!(
             report, es_reference,
@@ -672,16 +699,43 @@ fn main() {
         let streamed = series_len - warm;
         let points_per_sec = streamed as f64 / (append_secs + refresh_total);
         let refresh_mean = refresh_total / appends as f64;
+        // Refresh-throughput improvement vs. the pre-delta refresh,
+        // which paid a full from-scratch rebuild per append *on top
+        // of* the discretization + grammar pushes both paths share:
+        // old ~= measured refresh + one rebuild, new = measured
+        // refresh (the delta application inside it is a few
+        // microseconds). Gated at the smallest chunk — the per-append
+        // steady state the delta path exists for; large chunks
+        // amortize the rebuild and converge toward 1x by design.
+        let delta_speedup = (refresh_mean + rebuild_secs) / refresh_mean;
+        if !quick && chunk == stream_chunks[0] {
+            assert!(
+                delta_speedup >= 5.0,
+                "delta refresh only {delta_speedup:.2}x the rebuild-per-append refresh (chunk {chunk})"
+            );
+        }
+        let deltas_applied =
+            egi_obs::counter!("egi_core_density_deltas_applied_total").get() - deltas_before;
+        let coverage_points = egi_obs::counter!("egi_core_density_delta_coverage_points_total")
+            .get()
+            - coverage_before;
+        let equiv_points =
+            egi_obs::counter!("egi_core_density_rebuild_equiv_points_total").get() - equiv_before;
         eprintln!(
             "ESTREAM chunk {chunk:>4}: {appends} appends, append {append_secs:.3}s, \
              refresh mean {refresh_mean:.4}s / max {refresh_max:.4}s, \
-             {points_per_sec:.0} pts/s sustained, finish {finish_secs:.3}s"
+             {points_per_sec:.0} pts/s sustained, finish {finish_secs:.3}s, \
+             delta {delta_speedup:.1}x vs rebuild ({coverage_points} coverage pts \
+             vs {equiv_points} rebuild-equiv)"
         );
         es_rows.push(format!(
             "    {{ \"chunk\": {chunk}, \"appends\": {appends}, \"warmup_secs\": {es_warm_secs:.6}, \
              \"append_secs\": {append_secs:.6}, \"refresh_mean_secs\": {refresh_mean:.6}, \
              \"refresh_max_secs\": {refresh_max:.6}, \"points_per_sec\": {points_per_sec:.1}, \
-             \"finish_secs\": {finish_secs:.6} }}"
+             \"finish_secs\": {finish_secs:.6}, \"rebuild_equiv_secs\": {rebuild_secs:.6}, \
+             \"delta_speedup\": {delta_speedup:.3}, \"deltas_applied\": {deltas_applied}, \
+             \"delta_coverage_points\": {coverage_points}, \
+             \"rebuild_equiv_points\": {equiv_points} }}"
         ));
     }
 
@@ -783,6 +837,147 @@ fn main() {
              \"ingest_secs\": {ingest_secs:.6}, \"tick_mean_secs\": {tick_mean:.6}, \
              \"tick_p99_secs\": {tick_p99:.6}, \"points_per_sec\": {serve_pps:.1}, \
              \"catchup_secs\": {serve_catchup_secs:.6} }}"
+        ));
+    }
+
+    // Ensemble serve fleet: the same 10 / 100 / 1,000-stream runtime
+    // with StreamingEnsembleDetector sessions, so the delta-maintained
+    // density curves are exercised behind the fleet scheduler at
+    // scale. Per tick every stream ingests one chunk, one flush +
+    // fair-share refresh drains the fleet (asserted), and the
+    // structural-staleness gauge is sampled fleet-wide right after the
+    // appends land (every curve is short by the fresh tail) and
+    // asserted back to zero once the refresh heals it. The delta
+    // parity oracle runs on sampled streams per tick and on every
+    // stream at catch-up; per-stream finishes are asserted
+    // bit-identical to batch EnsembleDetector::detect.
+    let (ens_fleet_warm, ens_fleet_chunk, ens_fleet_ticks, ens_fleet_window, ens_fleet_members) =
+        if quick {
+            (48usize, 8usize, 3usize, 16usize, 3usize)
+        } else {
+            (128, 16, 4, 32, 4)
+        };
+    let ens_fleet_config = EnsembleConfig {
+        window: ens_fleet_window,
+        ensemble_size: ens_fleet_members,
+        parallel: false,
+        ..EnsembleConfig::default()
+    };
+    let mut ens_serve_rows = Vec::new();
+    for &n_streams in &[10u64, 100, 1_000] {
+        let mut fleet: Fleet<StreamingEnsembleDetector> = Fleet::new();
+        let (ens_create_secs, ()) = seconds(|| {
+            for id in 0..n_streams {
+                let warm_series: Vec<f64> =
+                    (0..ens_fleet_warm).map(|i| serve_point(id, i)).collect();
+                let mut session = StreamingEnsembleDetector::new(ens_fleet_config, id);
+                session.append(&warm_series);
+                fleet.create(id, session).unwrap();
+            }
+        });
+        let (ens_warm_secs, _) = seconds(|| fleet.refresh(Deadline::unbounded()));
+        let mut tick_times = Vec::with_capacity(ens_fleet_ticks);
+        let mut ingest_secs = 0.0f64;
+        let mut stale_after_append = 0u64;
+        let fresh_points = n_streams as usize * ens_fleet_chunk;
+        for t in 0..ens_fleet_ticks {
+            let base = ens_fleet_warm + t * ens_fleet_chunk;
+            let (i_secs, ()) = seconds(|| {
+                for id in 0..n_streams {
+                    let chunk: Vec<f64> = (base..base + ens_fleet_chunk)
+                        .map(|i| serve_point(id, i))
+                        .collect();
+                    fleet.ingest(id, &chunk).unwrap();
+                }
+            });
+            ingest_secs += i_secs;
+            let (t_secs, ()) = seconds(|| {
+                let flushed = fleet.flush_all();
+                assert_eq!(flushed, fresh_points, "one coalesced append per stream");
+                let budget = fleet.pending_units();
+                let ran = fleet.refresh(Deadline::queries(budget));
+                assert_eq!(ran, budget, "refresh must consume the whole budget");
+                assert_eq!(fleet.dirty_count(), 0, "fair share must drain every stream");
+            });
+            tick_times.push(t_secs);
+            // Gauge + parity gates, off the timed path. The appends
+            // have been healed by the refresh above, so staleness is
+            // re-sampled on a throwaway append pattern instead: the
+            // gauge reading comes from the *next* tick's flush; here
+            // assert the healed state and sampled delta parity.
+            for id in (0..n_streams).take(3) {
+                let session = fleet.session(id).unwrap();
+                assert_eq!(
+                    session.metrics().structural_staleness,
+                    0,
+                    "stream {id} still structurally stale after a drained tick"
+                );
+                assert!(
+                    session.delta_curves_match_rebuild(),
+                    "stream {id} delta curve diverged from rebuild at tick {t}"
+                );
+            }
+        }
+        // One more fleet-wide append sampled *before* the refresh, so
+        // the recorded gauge shows what operators see mid-tick: every
+        // curve short by exactly the fresh tail.
+        let base = ens_fleet_warm + ens_fleet_ticks * ens_fleet_chunk;
+        for id in 0..n_streams {
+            let chunk: Vec<f64> = (base..base + ens_fleet_chunk)
+                .map(|i| serve_point(id, i))
+                .collect();
+            fleet.ingest(id, &chunk).unwrap();
+        }
+        fleet.flush_all();
+        for id in 0..n_streams {
+            stale_after_append += fleet.session(id).unwrap().metrics().structural_staleness;
+        }
+        assert_eq!(
+            stale_after_append, fresh_points as u64,
+            "mid-tick structural staleness must be exactly the fresh tail"
+        );
+        let (ens_catchup_secs, reports) = seconds(|| fleet.finish_all());
+        assert_eq!(reports.len(), n_streams as usize);
+        let total = ens_fleet_warm + (ens_fleet_ticks + 1) * ens_fleet_chunk;
+        for (id, report) in &reports {
+            let session = fleet.session(*id).unwrap();
+            assert_eq!(session.metrics().structural_staleness, 0);
+            assert!(
+                session.delta_curves_match_rebuild(),
+                "stream {id} delta curve diverged from rebuild at catch-up"
+            );
+            let full: Vec<f64> = (0..total).map(|i| serve_point(*id, i)).collect();
+            // The trait-level finish reports every candidate
+            // (k = window_count), so the batch reference asks for the
+            // same.
+            let reference =
+                EnsembleDetector::new(ens_fleet_config).detect(&full, session.window_count(), *id);
+            assert_eq!(
+                report, &reference,
+                "ensemble fleet stream {id} deviates from batch detect"
+            );
+        }
+        let mut sorted = tick_times.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let tick_p99 =
+            sorted[((sorted.len() as f64 * 0.99).ceil() as usize - 1).min(sorted.len() - 1)];
+        let tick_mean = tick_times.iter().sum::<f64>() / tick_times.len() as f64;
+        let streamed = fresh_points * ens_fleet_ticks;
+        let ens_pps = streamed as f64 / (ingest_secs + tick_times.iter().sum::<f64>());
+        eprintln!(
+            "ESERVE {n_streams:>5} streams: {ens_fleet_ticks} ticks of {ens_fleet_chunk} pts/stream, \
+             tick mean {tick_mean:.4}s / p99 {tick_p99:.4}s, \
+             {ens_pps:.0} pts/s fleet-wide, mid-tick staleness {stale_after_append} pts, \
+             catch-up {ens_catchup_secs:.3}s"
+        );
+        ens_serve_rows.push(format!(
+            "    {{ \"streams\": {n_streams}, \"warm_points\": {ens_fleet_warm}, \
+             \"chunk\": {ens_fleet_chunk}, \"ticks\": {ens_fleet_ticks}, \
+             \"create_secs\": {ens_create_secs:.6}, \"warmup_secs\": {ens_warm_secs:.6}, \
+             \"ingest_secs\": {ingest_secs:.6}, \"tick_mean_secs\": {tick_mean:.6}, \
+             \"tick_p99_secs\": {tick_p99:.6}, \"points_per_sec\": {ens_pps:.1}, \
+             \"mid_tick_structural_staleness\": {stale_after_append}, \
+             \"catchup_secs\": {ens_catchup_secs:.6} }}"
         ));
     }
 
@@ -941,6 +1136,8 @@ fn main() {
          \"members\": {es_members},\n    \"seed\": {es_seed},\n    \"warmup_points\": {warm},\n    \
          \"runs\": [\n{es_rows}\n    ]\n  }},\n  \
          \"serve\": {{\n    \"m\": {fleet_m},\n    \"runs\": [\n{serve_rows}\n    ]\n  }},\n  \
+         \"ensemble_serve\": {{\n    \"window\": {ens_fleet_window},\n    \
+         \"members\": {ens_fleet_members},\n    \"runs\": [\n{ens_serve_rows}\n    ]\n  }},\n  \
          \"checkpoint\": {{\n    \"runs\": [\n{checkpoint_rows}\n    ]\n  }},\n  \
          \"ensemble\": {{\n    \"series_len\": {ens_len},\n    \"window\": {ens_window},\n    \
          \"members\": {ens_members},\n    \"serial_secs\": {ens_serial_secs:.6},\n    \
@@ -962,6 +1159,7 @@ fn main() {
         segmented_rows = segmented_rows.join(",\n"),
         es_rows = es_rows.join(",\n"),
         serve_rows = serve_rows.join(",\n"),
+        ens_serve_rows = ens_serve_rows.join(",\n"),
         checkpoint_rows = checkpoint_rows.join(",\n"),
     );
     std::fs::write(&out_path, json).expect("write bench json");

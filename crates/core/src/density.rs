@@ -7,7 +7,7 @@
 //! a rule are incompressible — the anomaly candidates.
 
 use egi_sax::NumerosityReduced;
-use egi_sequitur::{Grammar, RuleOccurrence};
+use egi_sequitur::{Grammar, OccDelta, RuleOccurrence};
 
 /// A rule density curve over a time series.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,6 +71,46 @@ impl RuleDensityCurve {
             values.push(acc);
         }
         Self { values }
+    }
+
+    /// Folds one occurrence-span delta from
+    /// [`Sequitur::take_deltas`] into the live curve, touching only the
+    /// points the span covers — the `O(changed coverage)` incremental
+    /// counterpart of a [`from_occurrences`](Self::from_occurrences)
+    /// rebuild. Returns the number of points touched (the
+    /// "changed coverage" an observability layer can compare against
+    /// the series length).
+    ///
+    /// The span maps to the identical series interval the rebuild uses
+    /// (`[offset(start), offset(start + len − 1) + window)`, clamped to
+    /// the curve length), and adds the identical exact integer `±1.0`
+    /// per point — floating-point addition on exact small integers is
+    /// exact and order-independent, so a curve maintained by deltas is
+    /// **bit-identical** to one rebuilt from the full occurrence set at
+    /// any drain boundary. The curve must already span the current
+    /// series length (resize with zeros after appends, before
+    /// applying).
+    ///
+    /// [`Sequitur::take_deltas`]: egi_sequitur::Sequitur::take_deltas
+    pub fn apply_delta(&mut self, delta: &OccDelta, nr: &NumerosityReduced) -> usize {
+        let series_len = self.values.len();
+        debug_assert!(delta.len >= 1);
+        let first_tok = delta.start;
+        let last_tok = delta.start + delta.len - 1;
+        if last_tok >= nr.len() {
+            debug_assert!(false, "delta beyond token sequence");
+            return 0;
+        }
+        let lo = nr.tokens[first_tok].offset;
+        let hi = (nr.tokens[last_tok].offset + nr.window).min(series_len);
+        if lo >= hi {
+            return 0;
+        }
+        let add = if delta.created { 1.0 } else { -1.0 };
+        for v in &mut self.values[lo..hi] {
+            *v += add;
+        }
+        hi - lo
     }
 
     /// Full grammar-induction pipeline from a token sequence: intern →
@@ -411,5 +451,89 @@ mod tests {
             "not flat: {:?}",
             curve.values
         );
+    }
+
+    // ------------------------------------------------------------------
+    // apply_delta: the incremental counterpart of from_occurrences.
+    // The cross-layer differential (deltas from a live engine vs
+    // rebuilds, under full schedules) lives in
+    // tests/density_delta_proptests.rs; these pin the interval mapping
+    // edges bit-for-bit.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn apply_delta_matches_from_occurrences_per_push() {
+        // Drive a delta-tracking engine over an interned token stream;
+        // after every push the delta-maintained curve must equal the
+        // from-scratch rebuild bit-for-bit.
+        let tokens: Vec<u32> = (0..160).map(|i| ((i * 13) % 9) as u32).collect();
+        let nr = identity_nr(&tokens, 3);
+        let series_len = tokens.len() + 2;
+        let ids = crate::intern::intern_tokens(&nr);
+        let mut seq = egi_sequitur::Sequitur::new();
+        seq.set_delta_tracking(true);
+        let mut curve = RuleDensityCurve {
+            values: vec![0.0; series_len],
+        };
+        for (i, &id) in ids.iter().enumerate() {
+            seq.push(id);
+            for d in seq.take_deltas() {
+                curve.apply_delta(&d, &nr);
+            }
+            let rebuilt = RuleDensityCurve::from_occurrences(&seq.occurrences(), &nr, series_len);
+            assert_eq!(curve, rebuilt, "after push {i}");
+        }
+    }
+
+    #[test]
+    fn apply_delta_clamps_last_window_to_series_len() {
+        // Mirror of build_clamps_last_window_to_series_len: a span whose
+        // last window extends past the series end is clipped.
+        let nr = identity_nr(&[4, 5, 4, 5], 4); // offsets 0..=3, window 4
+        let delta = egi_sequitur::OccDelta {
+            start: 2,
+            len: 2,
+            created: true,
+        };
+        let mut curve = RuleDensityCurve {
+            values: vec![0.0; 5],
+        };
+        assert_eq!(curve.apply_delta(&delta, &nr), 3);
+        assert_eq!(curve.values, vec![0.0, 0.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn apply_delta_covers_first_window_from_point_zero() {
+        let nr = identity_nr(&[7, 8, 7, 8], 3);
+        let delta = egi_sequitur::OccDelta {
+            start: 0,
+            len: 2,
+            created: true,
+        };
+        let mut curve = RuleDensityCurve {
+            values: vec![0.0; 6],
+        };
+        assert_eq!(curve.apply_delta(&delta, &nr), 4);
+        assert_eq!(curve.values, vec![1.0, 1.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn apply_delta_destroy_cancels_create_exactly() {
+        // A created span later destroyed must restore the previous
+        // curve bit-for-bit (exact integer adds commute and cancel).
+        let nr = identity_nr(&[1, 2, 1, 2, 3], 2);
+        let mut curve = RuleDensityCurve {
+            values: vec![0.0, 1.0, 2.0, 1.0, 0.0, 1.0],
+        };
+        let before = curve.clone();
+        let span = |created| egi_sequitur::OccDelta {
+            start: 1,
+            len: 3,
+            created,
+        };
+        curve.apply_delta(&span(true), &nr);
+        assert_ne!(curve, before);
+        curve.apply_delta(&span(false), &nr);
+        assert_eq!(curve, before);
     }
 }

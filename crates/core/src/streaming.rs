@@ -29,16 +29,64 @@
 //! * **Interning + grammar induction**
 //!   ([`crate::intern::OnlineInterner`], [`egi_sequitur::Sequitur::push`])
 //!   feed each retained token to the inherently online Sequitur engine.
-//! * **Rule density** is re-derived from the live grammar's
-//!   incrementally accounted occurrence spans
-//!   ([`egi_sequitur::Sequitur::occurrences`] →
-//!   [`RuleDensityCurve::from_occurrences`]) — no grammar extraction,
-//!   no bottom-up recomputation.
+//! * **Rule density** is maintained *in place*: the engine emits the
+//!   net occurrence-span changes of each push
+//!   ([`egi_sequitur::OccDelta`]) and
+//!   [`RuleDensityCurve::apply_delta`] folds them into the member's
+//!   live curve — no grammar extraction, no occurrence re-enumeration,
+//!   no full-curve rebuild (see *Delta maintenance vs. rebuild* below).
 //!
 //! Member curves combine under the *batch* detector's own
 //! [`EnsembleDetector::combine_curves`] (σ-ranking, τ-filter,
 //! max-normalization, point-wise combiner), so there is one Algorithm 1
 //! implementation, not two.
+//!
+//! # Delta maintenance vs. rebuild
+//!
+//! Before the incremental density layer, every member refresh ended
+//! with `RuleDensityCurve::from_occurrences(&seq.occurrences(), …)` —
+//! an `O(series)` re-derivation (occurrence walk over the whole
+//! grammar plus a full difference-array scan) even when the refresh
+//! consumed a single new window. That cost model caps a fleet: with
+//! `S` streams of length `n`, one tick of per-stream refreshes costs
+//! `O(S · n)` no matter how little arrived.
+//!
+//! **Cost model.** With delta tracking on, [`Sequitur::push`] emits
+//! the *net* changes to the transitive occurrence-span multiset
+//! ([`egi_sequitur::OccDelta`]): nothing for a plain terminal or a
+//! rule-body creation, one created span per transitive occurrence of
+//! the edited body for a substitution, one destroyed span for an
+//! inline expansion — nested contributions cancel exactly because a
+//! rule's body expands to precisely the tokens it replaced.
+//! [`RuleDensityCurve::apply_delta`] folds each span into the live
+//! curve over just the points it covers, so a member
+//! [`step`](StreamingEnsembleDetector::step) costs
+//! `O(new windows + changed coverage)` instead of `O(series)`.
+//!
+//! **Why integer deltas keep bit-parity for free.** Curve values are
+//! exact small integers stored in `f64` (coverage counts). The rebuild
+//! reaches them by a difference-array prefix scan; the delta path by
+//! `±1.0` interval adds over the identical intervals. Addition of
+//! exact small integers in `f64` is exact and order-independent, so
+//! the delta-maintained curve is **bit-identical** to a
+//! [`RuleDensityCurve::from_occurrences`] rebuild at every drain
+//! boundary — the batch-parity contract of
+//! [`finish`](StreamingEnsembleDetector::finish) holds by
+//! construction, and the from-scratch rebuild survives as the test
+//! oracle
+//! ([`delta_curves_match_rebuild`](StreamingEnsembleDetector::delta_curves_match_rebuild),
+//! exercised by `tests/density_delta_proptests.rs` and the bench's
+//! in-run parity gate).
+//!
+//! **Eviction rebase rule.** Pending deltas are in token coordinates;
+//! eviction re-derives the token stream from a new origin, so
+//! [`Sequitur::clear`] drops them (the replay re-emits everything).
+//! The member's cached curve — a shifted structural carry served for
+//! snapshots — is *not* a valid delta base; the member is flagged and
+//! the next refresh zeroes the curve first, letting the replay's
+//! deltas rebuild it from the empty baseline (delta-applied and
+//! rebuilt curves coincide exactly on a cleared engine). The flag
+//! round-trips through checkpoints (member payload v2).
 //!
 //! # Why streaming SAX is *exactly* incremental here
 //!
@@ -178,15 +226,39 @@ struct MemberState {
     nr: NumerosityReduced,
     /// Online SAX-word interning table.
     interner: OnlineInterner,
-    /// The live Sequitur engine.
+    /// The live Sequitur engine (delta tracking on).
     seq: Sequitur,
-    /// Density curve from the last refresh; `curve.len()` records the
-    /// series length it was computed at.
+    /// Delta-maintained density curve; `curve.len()` records the
+    /// series length as of the last refresh.
     curve: RuleDensityCurve,
+    /// `true` while `curve` is a valid delta base (bit-identical to a
+    /// rebuild from `seq.occurrences()` at `curve.len()` points).
+    /// Cleared by eviction, whose shifted structural carry is served
+    /// for snapshots but must be discarded — not delta-patched — by
+    /// the next refresh (see the module docs' eviction rebase rule).
+    delta_base: bool,
+}
+
+/// Builds one member's empty pipeline state (engine delta tracking on).
+fn empty_member(sax: SaxConfig, stream: usize, window: usize) -> MemberState {
+    let mut seq = Sequitur::new();
+    seq.set_delta_tracking(true);
+    MemberState {
+        sax,
+        stream,
+        consumed: 0,
+        nr: NumerosityReduced::empty(window),
+        interner: OnlineInterner::new(),
+        seq,
+        curve: RuleDensityCurve { values: Vec::new() },
+        delta_base: true,
+    }
 }
 
 /// Advances one member through every window in `consumed..target` and
-/// rebuilds its density curve at `series_len` points.
+/// folds the resulting occurrence deltas into its density curve at
+/// `series_len` points — `O(new windows + changed coverage)`, never
+/// `O(series)` (see the module docs' *Delta maintenance vs. rebuild*).
 ///
 /// This is the "one unit of work" of the budget contract, shared by the
 /// serial [`StreamingEnsembleDetector::step`] path and the parallel
@@ -199,6 +271,22 @@ fn refresh_member(
     target: usize,
     series_len: usize,
 ) {
+    if !member.delta_base {
+        // Eviction rebase: the cached curve is a shifted carry, not a
+        // delta base. The engine restarted at token zero alongside
+        // (Sequitur::clear dropped the stale-coordinate deltas), so
+        // zero the curve and let the replay's deltas rebuild it.
+        debug_assert_eq!(
+            member.seq.token_count(),
+            0,
+            "curve flagged non-base with a live grammar"
+        );
+        member.curve.values.clear();
+        member.delta_base = true;
+    }
+    // Appends extend coverage with zeros until a rule covers them; the
+    // curve never shrinks between evictions (which reset it above).
+    member.curve.values.resize(series_len, 0.0);
     for start in member.consumed..target {
         let row = stream.row(start);
         let word = SaxWord(row.iter().map(|&c| multi.symbol(c, member.sax.a)).collect());
@@ -209,8 +297,16 @@ fn refresh_member(
         }
     }
     member.consumed = target;
-    member.curve =
-        RuleDensityCurve::from_occurrences(&member.seq.occurrences(), &member.nr, series_len);
+    let deltas = member.seq.take_deltas();
+    let mut touched = 0usize;
+    for delta in &deltas {
+        touched += member.curve.apply_delta(delta, &member.nr);
+    }
+    egi_obs::counter!("egi_core_density_deltas_applied_total").add(deltas.len() as u64);
+    egi_obs::counter!("egi_core_density_delta_coverage_points_total").add(touched as u64);
+    // What a from-scratch rebuild would have scanned instead — the
+    // delta win is this counter divided by the coverage counter.
+    egi_obs::counter!("egi_core_density_rebuild_equiv_points_total").add(series_len as u64);
 }
 
 /// An online ensemble grammar-induction detector over an append-only
@@ -298,14 +394,9 @@ impl StreamingEnsembleDetector {
             .collect();
         let members: Vec<MemberState> = params
             .iter()
-            .map(|&sax| MemberState {
-                sax,
-                stream: ws.binary_search(&sax.w).expect("w collected above"),
-                consumed: 0,
-                nr: NumerosityReduced::empty(config.window),
-                interner: OnlineInterner::new(),
-                seq: Sequitur::new(),
-                curve: RuleDensityCurve { values: Vec::new() },
+            .map(|&sax| {
+                let stream = ws.binary_search(&sax.w).expect("w collected above");
+                empty_member(sax, stream, config.window)
             })
             .collect();
         Self {
@@ -405,11 +496,62 @@ impl StreamingEnsembleDetector {
     }
 
     /// Lifetime telemetry for this detector: appends, evictions,
-    /// member refreshes served, and staleness (points appended since
-    /// the ensemble last caught up). Pure `u64` counters, deliberately
-    /// not part of checkpoints (a restored detector starts from zero).
+    /// member refreshes served, staleness (points appended since the
+    /// ensemble last caught up), and structural staleness (points of
+    /// the current snapshot served from a zero-pad or eviction carry
+    /// rather than healed coverage — see
+    /// [`structural_staleness`](Self::structural_staleness)). Pure
+    /// `u64` counters, deliberately not part of checkpoints (a
+    /// restored detector starts from zero).
     pub fn metrics(&self) -> SessionStats {
         self.telemetry
+    }
+
+    /// Points of the current series whose [`snapshot`](Self::snapshot)
+    /// contribution is structurally stale for at least one member:
+    /// zero-padded beyond the member's last refresh, or — after an
+    /// eviction — served from the shifted pre-eviction carry until the
+    /// replay heals it. Distinct from `SessionStats::staleness_points`
+    /// (points *appended* since last caught up): an eviction adds no
+    /// points but makes every member's whole curve structurally stale
+    /// until its replay completes. Zero exactly when
+    /// [`is_current`](Self::is_current) work has healed all coverage.
+    pub fn structural_staleness(&self) -> usize {
+        let len = self.series.len();
+        let healed = self
+            .members
+            .iter()
+            .map(|m| {
+                if m.delta_base {
+                    m.curve.len().min(len)
+                } else {
+                    0
+                }
+            })
+            .min()
+            .unwrap_or(len);
+        len - healed
+    }
+
+    /// Test/bench oracle for the incremental density layer: `true` iff
+    /// every member's delta-maintained curve is **bit-identical** to a
+    /// from-scratch [`RuleDensityCurve::from_occurrences`] rebuild over
+    /// its live grammar (members still serving a post-eviction carry
+    /// are excluded — their curve is intentionally not a delta base
+    /// until the replay refresh). This retains the pre-delta rebuild
+    /// path purely as a differential check; the property harness in
+    /// `tests/density_delta_proptests.rs` and the bench's in-run
+    /// parity gate both assert it after every schedule operation.
+    pub fn delta_curves_match_rebuild(&self) -> bool {
+        self.members.iter().all(|m| {
+            !m.delta_base
+                || m.curve
+                    == RuleDensityCurve::from_occurrences(
+                        &m.seq.occurrences(),
+                        &m.nr,
+                        m.curve.len(),
+                    )
+        })
     }
 
     /// Ingests new points. Never blocks on scoring work: the cost is
@@ -447,6 +589,8 @@ impl StreamingEnsembleDetector {
         }
         self.telemetry
             .record_append(points.len() as u64, self.stale.is_empty());
+        self.telemetry
+            .set_structural_staleness(self.structural_staleness() as u64);
         span.record(egi_obs::histogram!("egi_monitor_append_nanos"));
     }
 
@@ -492,7 +636,9 @@ impl StreamingEnsembleDetector {
             member.consumed = 0;
             member.nr.clear();
             member.interner.clear();
+            // Drops pending deltas too (the eviction rebase rule).
             member.seq.clear();
+            member.delta_base = false;
             if windowless {
                 // No window fits the suffix (under the boundary rule
                 // this is the full drain): the exact batch curve is
@@ -514,6 +660,8 @@ impl StreamingEnsembleDetector {
         self.stale.extend(0..self.members.len());
         self.telemetry
             .record_evict(count as u64, self.stale.is_empty());
+        self.telemetry
+            .set_structural_staleness(self.structural_staleness() as u64);
         span.record(egi_obs::histogram!("egi_monitor_evict_nanos"));
         Ok(())
     }
@@ -606,6 +754,8 @@ impl StreamingEnsembleDetector {
             len,
         );
         self.telemetry.record_step(self.stale.is_empty());
+        self.telemetry
+            .set_structural_staleness(self.structural_staleness() as u64);
         true
     }
 
@@ -677,11 +827,13 @@ impl StreamingEnsembleDetector {
         let streams = &self.streams;
         let multi = &self.multi;
         self.members.par_iter_mut().for_each(|member| {
-            if member.consumed < target || member.curve.len() != len {
+            if member.consumed < target || member.curve.len() != len || !member.delta_base {
                 let stream = &streams[member.stream];
                 refresh_member(member, stream, multi, target, len);
             }
         });
+        self.telemetry
+            .set_structural_staleness(self.structural_staleness() as u64);
     }
 }
 
@@ -691,7 +843,13 @@ const CKPT_SECTION_DETECTOR: u32 = u32::from_le_bytes(*b"ENS1");
 /// member in draw order.
 const CKPT_SECTION_MEMBER: u32 = u32::from_le_bytes(*b"MEM1");
 const CKPT_DETECTOR_VERSION: u32 = 1;
-const CKPT_MEMBER_VERSION: u32 = 1;
+/// Member payload v2 (the incremental density layer): the Sequitur
+/// node record gained per-node position/owner fields and the engine its
+/// delta-tracking state, and the member record gained the
+/// `delta_base` flag — none of which a v1 payload carries, so v1
+/// members are rejected as [`CheckpointError::UnsupportedSection`]
+/// rather than restored with a silently unmaintainable curve.
+const CKPT_MEMBER_VERSION: u32 = 2;
 
 fn corrupt(what: impl Into<String>) -> CheckpointError {
     CheckpointError::Corrupt(what.into())
@@ -738,6 +896,7 @@ impl Checkpoint for StreamingEnsembleDetector {
         for member in &self.members {
             let mut f = FieldWriter::new();
             f.usize(member.consumed);
+            f.bool(member.delta_base);
             f.f64_slice(&member.curve.values);
             f.value(&member.nr.to_value());
             f.value(&member.interner.to_value());
@@ -832,13 +991,27 @@ impl Checkpoint for StreamingEnsembleDetector {
         let count = detector.window_count();
         let len = detector.series.len();
         for (i, member) in detector.members.iter_mut().enumerate() {
-            let (_, payload) = input.section(CKPT_SECTION_MEMBER, CKPT_MEMBER_VERSION)?;
+            let (version, payload) = input.section(CKPT_SECTION_MEMBER, CKPT_MEMBER_VERSION)?;
+            if version != CKPT_MEMBER_VERSION {
+                // v1 members predate the delta-maintained curve (no
+                // per-node position/owner state to resume from).
+                return Err(CheckpointError::UnsupportedSection {
+                    tag: CKPT_SECTION_MEMBER,
+                    found: version,
+                    supported: CKPT_MEMBER_VERSION,
+                });
+            }
             let mut f = FieldReader::new(&payload);
             let consumed = f.usize()?;
+            let delta_base = f.bool()?;
             let curve = f.f64_vec()?;
             let nr = NumerosityReduced::from_value(&f.value()?)?;
             let interner = OnlineInterner::from_value(&f.value()?)?;
-            let seq = Sequitur::from_value(&f.value()?)?;
+            let mut seq = Sequitur::from_value(&f.value()?)?;
+            // Tracking is structural for the detector (enabling is a
+            // no-op on the already-tracking engines we write, and
+            // never discards restored pending deltas).
+            seq.set_delta_tracking(true);
             f.finish()?;
             if consumed > count {
                 return Err(corrupt(format!("member {i} consumed beyond the series")));
@@ -857,7 +1030,16 @@ impl Checkpoint for StreamingEnsembleDetector {
             if seq.token_count() != nr.len() {
                 return Err(corrupt(format!("member {i} grammar/token desync")));
             }
+            // A non-base curve is the post-eviction carry; the engine
+            // must have been cleared alongside or the next refresh
+            // would zero the curve under a live grammar.
+            if !delta_base && seq.token_count() != 0 {
+                return Err(corrupt(format!(
+                    "member {i} carries a non-base curve with a live grammar"
+                )));
+            }
             member.consumed = consumed;
+            member.delta_base = delta_base;
             member.curve = RuleDensityCurve { values: curve };
             member.nr = nr;
             member.interner = interner;
@@ -865,6 +1047,12 @@ impl Checkpoint for StreamingEnsembleDetector {
         }
         detector.stale = stale.into();
         detector.clock = StreamClock::with_state(epochs, offset, retention);
+        // Lifetime counters restart at zero, but structural staleness
+        // is a level derived from the restored state — initialize the
+        // gauge so a half-healed snapshot reports truthfully at once.
+        detector
+            .telemetry
+            .set_structural_staleness(detector.structural_staleness() as u64);
         Ok(detector)
     }
 }

@@ -175,4 +175,50 @@ proptest! {
             Err(CheckpointError::UnsupportedFormat { found: 7, .. })
         ));
     }
+
+    /// v1 member payloads predate the delta-maintenance node layout
+    /// (no `pos`/`owner` bookkeeping, no `delta_base` flag) and cannot
+    /// be reinterpreted; downgrading any member section's version must
+    /// be a typed [`CheckpointError::UnsupportedSection`], never a
+    /// misparse. Pending delta buffers round-trip alongside (covered
+    /// structurally here, behaviorally by the density-delta harness).
+    #[test]
+    fn v1_member_sections_are_rejected_with_a_typed_error(
+        window in 8usize..16,
+        members in 3usize..7,
+        seed in 0u64..1_000_000_000,
+        raw_ops in prop::collection::vec((0usize..10, 1usize..40), 2..6),
+    ) {
+        const MEMBER_TAG: u32 = u32::from_le_bytes(*b"MEM1");
+        let gen = PointGen::ensemble();
+        let ops: Vec<ScheduleOp> =
+            raw_ops.iter().map(|&(k, a)| decode_op(k, a)).collect();
+        let (detector, _) =
+            replay_prefix(window, members, seed, &gen, &ops, ops.len());
+        let bytes = detector.checkpoint_bytes().unwrap();
+        let member_sections: Vec<_> = list_sections(&bytes)
+            .unwrap()
+            .into_iter()
+            .filter(|s| s.tag == MEMBER_TAG)
+            .collect();
+        prop_assert_eq!(member_sections.len(), members);
+        for s in &member_sections {
+            prop_assert_eq!(s.payload_version, 2);
+            // The payload version lives right after the 4-byte tag;
+            // the checksum covers only the payload, so this is a
+            // clean format downgrade, not corruption.
+            let mut v1 = bytes.clone();
+            v1[s.start + 4..s.start + 8].copy_from_slice(&1u32.to_le_bytes());
+            match StreamingEnsembleDetector::from_checkpoint_bytes(&v1) {
+                Err(CheckpointError::UnsupportedSection { tag, found, supported }) => {
+                    prop_assert_eq!(tag, MEMBER_TAG);
+                    prop_assert_eq!(found, 1);
+                    prop_assert_eq!(supported, 2);
+                }
+                other => prop_assert!(false,
+                    "v1 member section produced {:?} instead of UnsupportedSection",
+                    other.map(|_| "a loaded detector")),
+            }
+        }
+    }
 }

@@ -27,6 +27,16 @@ pub struct SessionStats {
     /// Zero while current; grows with every append until the next
     /// drain.
     pub staleness_points: u64,
+    /// Structural staleness: points of the session's current snapshot
+    /// served from a carry-over (zero-padding beyond a member's last
+    /// refresh, or a post-eviction shifted curve) instead of healed
+    /// coverage. Distinct from `staleness_points` — an eviction adds
+    /// no points yet structurally stales the whole window until the
+    /// replay heals it. Sessions maintain it via
+    /// [`SessionStats::set_structural_staleness`] after every
+    /// append/evict/step; sessions without a structural carry notion
+    /// leave it zero.
+    pub structural_staleness: u64,
 }
 
 impl SessionStats {
@@ -67,6 +77,14 @@ impl SessionStats {
             self.staleness_points = 0;
         }
     }
+
+    /// Sets the structural-staleness gauge — the session recomputes
+    /// the healed-coverage deficit after each append/evict/step and
+    /// records it here (a level, not an accumulating counter).
+    #[inline]
+    pub fn set_structural_staleness(&mut self, points: u64) {
+        self.structural_staleness = points;
+    }
 }
 
 #[cfg(test)]
@@ -91,5 +109,22 @@ mod tests {
         assert_eq!(s.evictions, 1);
         s.record_evict(0, false);
         assert_eq!(s.evictions, 1);
+    }
+
+    #[test]
+    fn structural_staleness_is_a_level_not_a_counter() {
+        let mut s = SessionStats::default();
+        assert_eq!(s.structural_staleness, 0);
+        // An eviction appends nothing, so queue staleness stays zero —
+        // but the session reports the whole unhealed window.
+        s.record_evict(4, true);
+        s.set_structural_staleness(128);
+        assert_eq!(s.staleness_points, 0);
+        assert_eq!(s.structural_staleness, 128);
+        // Levels overwrite; they never accumulate.
+        s.set_structural_staleness(64);
+        assert_eq!(s.structural_staleness, 64);
+        s.set_structural_staleness(0);
+        assert_eq!(s.structural_staleness, 0);
     }
 }

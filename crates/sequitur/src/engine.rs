@@ -45,6 +45,14 @@ struct Node {
     /// Intrusive per-rule occurrence list (only for `Sym(R(_))` nodes).
     occ_prev: u32,
     occ_next: u32,
+    /// Token offset of this symbol within its containing rule body
+    /// (absolute token index for root-body nodes). Fixed at creation;
+    /// only [`Sequitur::expand`] rewrites it, when a body is spliced
+    /// into its parent. Meaningless for guards.
+    pos: u32,
+    /// Rule whose body contains this node (0 for the root body).
+    /// Rewritten alongside `pos` during inline expansion.
+    owner: u32,
 }
 
 impl Node {
@@ -55,8 +63,38 @@ impl Node {
             next: NIL,
             occ_prev: NIL,
             occ_next: NIL,
+            pos: 0,
+            owner: 0,
         }
     }
+}
+
+/// One change to the transitive rule-occurrence span multiset, emitted
+/// by [`Sequitur::push`] when delta tracking is enabled
+/// ([`Sequitur::set_delta_tracking`]).
+///
+/// The **net-delta cancellation property** keeps these rare and small:
+/// a plain terminal push and a rule-body creation change no transitive
+/// span, a substitution creates exactly one span per transitive
+/// occurrence of the body it happens in, and an inline expansion
+/// destroys exactly one span per transitive occurrence — every nested
+/// contribution cancels because a rule's body expands to precisely the
+/// tokens it replaced. Folding the drained deltas into a density curve
+/// ([`RuleDensityCurve::apply_delta`] in `egi-core`) therefore costs
+/// `O(changed coverage)` per push instead of the `O(series)` of a
+/// [`Sequitur::occurrences`] rebuild, and lands on the bit-identical
+/// curve (the adds are exact small integers either way).
+///
+/// [`RuleDensityCurve::apply_delta`]:
+///     https://docs.rs/egi-core/latest/egi_core/density/struct.RuleDensityCurve.html
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccDelta {
+    /// Token index where the occurrence span starts.
+    pub start: usize,
+    /// Number of tokens the span covers (the rule's expansion length).
+    pub len: usize,
+    /// `true` when the span was created, `false` when destroyed.
+    pub created: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -89,6 +127,11 @@ pub struct Sequitur {
     underused: Vec<u32>,
     /// Number of tokens pushed so far.
     token_count: usize,
+    /// When `true`, [`Sequitur::push`] records every change to the
+    /// transitive occurrence-span multiset in `deltas`.
+    track: bool,
+    /// Pending [`OccDelta`]s since the last [`Sequitur::take_deltas`].
+    deltas: Vec<OccDelta>,
 }
 
 impl Default for Sequitur {
@@ -107,9 +150,42 @@ impl Sequitur {
             digrams: FxHashMap::default(),
             underused: Vec::new(),
             token_count: 0,
+            track: false,
+            deltas: Vec::new(),
         };
         s.new_rule(); // rule 0 = S
         s
+    }
+
+    /// Enables or disables occurrence-delta tracking.
+    ///
+    /// While enabled, every [`push`](Sequitur::push) appends the net
+    /// changes to the transitive occurrence-span multiset to an
+    /// internal buffer, drained by [`take_deltas`](Sequitur::take_deltas).
+    /// Tracking must be switched on while the caller's derived state
+    /// (e.g. a density curve) matches the engine's current
+    /// [`occurrences`](Sequitur::occurrences) — from then on, folding
+    /// the drained deltas keeps it exactly in sync. Disabling discards
+    /// any pending deltas.
+    pub fn set_delta_tracking(&mut self, on: bool) {
+        self.track = on;
+        if !on {
+            self.deltas.clear();
+        }
+    }
+
+    /// Whether occurrence-delta tracking is enabled.
+    pub fn delta_tracking(&self) -> bool {
+        self.track
+    }
+
+    /// Takes the occurrence deltas accumulated since the last call
+    /// (empty unless [`set_delta_tracking`](Sequitur::set_delta_tracking)
+    /// is on). Applying them — in any order — to the span multiset as
+    /// of the previous drain yields exactly the current
+    /// [`occurrences`](Sequitur::occurrences) span multiset.
+    pub fn take_deltas(&mut self) -> Vec<OccDelta> {
+        std::mem::take(&mut self.deltas)
     }
 
     /// Number of tokens consumed so far.
@@ -143,6 +219,12 @@ impl Sequitur {
     /// state-identical to a fresh one fed the same tokens (modulo
     /// retained capacity), which keeps the replay on the bitwise batch
     /// path.
+    ///
+    /// Clearing also **rebases the delta cursor**: pending
+    /// [`OccDelta`]s refer to the retired token coordinates, so they
+    /// are dropped (the tracking flag itself survives). A delta
+    /// consumer must likewise reset its derived state to the empty
+    /// baseline — the replay's deltas then rebuild it from zero.
     pub fn clear(&mut self) {
         self.nodes.clear();
         self.free.clear();
@@ -150,6 +232,7 @@ impl Sequitur {
         self.digrams.clear();
         self.underused.clear();
         self.token_count = 0;
+        self.deltas.clear();
         self.new_rule();
     }
 
@@ -214,6 +297,14 @@ impl Sequitur {
                 next: map_node(node.next),
                 occ_prev: map_node(node.occ_prev),
                 occ_next: map_node(node.occ_next),
+                pos: node.pos,
+                owner: {
+                    debug_assert_ne!(
+                        rule_map[node.owner as usize], NIL,
+                        "live node owned by a dead rule"
+                    );
+                    rule_map[node.owner as usize]
+                },
             });
         }
         self.nodes = nodes;
@@ -449,10 +540,17 @@ impl Sequitur {
     /// Appends one terminal token and restores the grammar constraints.
     pub fn push(&mut self, token: u32) {
         self.token_count += 1;
+        assert!(
+            self.token_count <= u32::MAX as usize,
+            "token position exceeds u32 range"
+        );
         self.rules[0].exp_len += 1;
         let guard = self.rules[0].guard;
         let last = self.prev(guard);
         let n = self.make_sym_node(Sym::T(token));
+        // Root-body positions are absolute token indices (owner 0 is
+        // Node::blank's default).
+        self.nodes[n as usize].pos = (self.token_count - 1) as u32;
         self.insert_after(last, n);
         if last != guard {
             self.check(last);
@@ -502,12 +600,18 @@ impl Sequitur {
             // Create a new rule from the digram's symbols.
             let s1 = self.sym(ss).expect("digram member is a symbol");
             let s2 = self.sym(self.next(ss)).expect("digram member is a symbol");
+            let l1 = self.sym_exp_len(s1);
             r = self.new_rule();
-            self.rules[r as usize].exp_len = self.sym_exp_len(s1) + self.sym_exp_len(s2);
+            self.rules[r as usize].exp_len = l1 + self.sym_exp_len(s2);
             let guard = self.rules[r as usize].guard;
+            // Building the body changes no transitive span: the rule
+            // has zero occurrences until the substitutions below.
             let c1 = self.make_sym_node(s1);
+            self.nodes[c1 as usize].owner = r;
             self.insert_after(guard, c1);
             let c2 = self.make_sym_node(s2);
+            self.nodes[c2 as usize].pos = l1 as u32;
+            self.nodes[c2 as usize].owner = r;
             self.insert_after(c1, c2);
             self.substitute(m, r);
             self.substitute(ss, r);
@@ -517,13 +621,70 @@ impl Sequitur {
         self.drain_underused();
     }
 
+    /// Absolute token positions at which `rule`'s expansion starts,
+    /// one per **transitive** occurrence — the walk goes *up* the
+    /// ownership chain (occurrence node → containing rule → its
+    /// occurrences …), so the cost is proportional to the changed
+    /// coverage, never the series length. The root's sole "occurrence"
+    /// starts at 0; root-body node positions are absolute.
+    fn transitive_starts(&self, rule: u32, memo: &mut FxHashMap<u32, Vec<usize>>) -> Vec<usize> {
+        if rule == 0 {
+            return vec![0];
+        }
+        if let Some(v) = memo.get(&rule) {
+            return v.clone();
+        }
+        let mut starts = Vec::new();
+        let mut occ = self.rules[rule as usize].occ_head;
+        while occ != NIL {
+            let node = self.nodes[occ as usize];
+            for s in self.transitive_starts(node.owner, memo) {
+                starts.push(s + node.pos as usize);
+            }
+            occ = node.occ_next;
+        }
+        memo.insert(rule, starts.clone());
+        starts
+    }
+
+    /// Records one span change of length `len` at `pos` within `owner`'s
+    /// body, fanned out over every transitive occurrence of `owner`.
+    fn emit_delta(&mut self, owner: u32, pos: u32, len: usize, created: bool) {
+        let mut memo = FxHashMap::default();
+        let starts = self.transitive_starts(owner, &mut memo);
+        for s in starts {
+            self.deltas.push(OccDelta {
+                start: s + pos as usize,
+                len,
+                created,
+            });
+        }
+    }
+
     /// Replaces the digram starting at `i` with a reference to rule `r`.
     fn substitute(&mut self, i: u32, r: u32) {
         let q = self.prev(i);
         let second = self.next(i);
+        // Net-delta accounting: this is the only operation that adds a
+        // transitive span. The two replaced symbols keep their spans
+        // (if rule references, they recur inside `r`'s body at the
+        // same absolute positions), so the net change is exactly one
+        // new `r`-span per transitive occurrence of the body being
+        // edited — emitted before the structure changes, while the
+        // ownership chain is still consistent.
+        let (pos, owner) = {
+            let nd = &self.nodes[i as usize];
+            (nd.pos, nd.owner)
+        };
+        if self.track {
+            let len = self.rules[r as usize].exp_len;
+            self.emit_delta(owner, pos, len, true);
+        }
         self.delete_node(second);
         self.delete_node(i);
         let n = self.make_sym_node(Sym::R(r));
+        self.nodes[n as usize].pos = pos;
+        self.nodes[n as usize].owner = owner;
         self.insert_after(q, n);
         if !self.check(q) {
             let qn = self.next(q);
@@ -553,6 +714,32 @@ impl Sequitur {
         let first = self.next(guard);
         let last = self.prev(guard);
         debug_assert!(first != guard, "expanding an empty rule");
+
+        // Net-delta accounting: inlining destroys exactly the
+        // `r`-span(s) at this sole occurrence; the spliced body symbols
+        // keep their transitive spans (their positions are rebased
+        // below so absolute starts are unchanged). Emit before any
+        // structural edit.
+        let (n_pos, n_owner) = {
+            let nd = &self.nodes[n as usize];
+            (nd.pos, nd.owner)
+        };
+        if self.track {
+            let len = self.rules[r as usize].exp_len;
+            self.emit_delta(n_owner, n_pos, len, false);
+        }
+        // Rebase the spliced body into the parent's coordinates: each
+        // body node's offset becomes relative to the parent body, and
+        // its owner becomes the parent rule.
+        let mut cur = first;
+        loop {
+            self.nodes[cur as usize].pos += n_pos;
+            self.nodes[cur as usize].owner = n_owner;
+            if cur == last {
+                break;
+            }
+            cur = self.next(cur);
+        }
 
         // The digram (n, right) is about to disappear.
         self.delete_digram(n);
@@ -755,6 +942,8 @@ impl Serialize for Node {
             Value::UInt(self.next as u64),
             Value::UInt(self.occ_prev as u64),
             Value::UInt(self.occ_next as u64),
+            Value::UInt(self.pos as u64),
+            Value::UInt(self.owner as u64),
         ])
     }
 }
@@ -762,8 +951,8 @@ impl Serialize for Node {
 impl Deserialize for Node {
     fn from_value(value: &Value) -> Result<Self, DeserializeError> {
         let items = match value {
-            Value::Arr(items) if items.len() == 5 => items,
-            other => return Err(DeserializeError::expected("array of 5", other)),
+            Value::Arr(items) if items.len() == 7 => items,
+            other => return Err(DeserializeError::expected("array of 7", other)),
         };
         Ok(Node {
             kind: Kind::from_value(&items[0])?,
@@ -771,6 +960,25 @@ impl Deserialize for Node {
             next: u32::from_value(&items[2])?,
             occ_prev: u32::from_value(&items[3])?,
             occ_next: u32::from_value(&items[4])?,
+            pos: u32::from_value(&items[5])?,
+            owner: u32::from_value(&items[6])?,
+        })
+    }
+}
+
+impl Serialize for OccDelta {
+    fn to_value(&self) -> Value {
+        (self.start, self.len, self.created).to_value()
+    }
+}
+
+impl Deserialize for OccDelta {
+    fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+        let (start, len, created): (usize, usize, bool) = Deserialize::from_value(value)?;
+        Ok(OccDelta {
+            start,
+            len,
+            created,
         })
     }
 }
@@ -792,6 +1000,8 @@ impl Serialize for Sequitur {
             ("digrams".into(), digrams.to_value()),
             ("underused".into(), self.underused.to_value()),
             ("token_count".into(), self.token_count.to_value()),
+            ("track".into(), self.track.to_value()),
+            ("deltas".into(), self.deltas.to_value()),
         ])
     }
 }
@@ -804,6 +1014,8 @@ impl Deserialize for Sequitur {
         let digrams_raw: Vec<(Sym, Sym, u32)> = value.field("digrams")?;
         let underused: Vec<u32> = value.field("underused")?;
         let token_count: usize = value.field("token_count")?;
+        let track: bool = value.field("track")?;
+        let deltas: Vec<OccDelta> = value.field("deltas")?;
 
         let rules: Vec<RuleRec> = rules_raw
             .into_iter()
@@ -836,6 +1048,12 @@ impl Deserialize for Sequitur {
                 if (r as usize) >= rules.len() {
                     return Err(DeserializeError(format!("rule reference {r} out of range")));
                 }
+            }
+            if (node.owner as usize) >= rules.len() {
+                return Err(DeserializeError(format!(
+                    "node owner {} out of range",
+                    node.owner
+                )));
             }
         }
         if rules.is_empty() || rules[0].guard == NIL {
@@ -880,6 +1098,8 @@ impl Deserialize for Sequitur {
             digrams,
             underused,
             token_count,
+            track,
+            deltas,
         })
     }
 }
@@ -1298,6 +1518,125 @@ mod tests {
             }
         }
         assert!(Sequitur::from_value(&bad).is_err());
+    }
+
+    /// Folds a batch of deltas into a span-count multiset, panicking on
+    /// a destroy without a matching create.
+    fn fold_deltas(
+        counts: &mut std::collections::HashMap<(usize, usize), i64>,
+        deltas: &[OccDelta],
+    ) {
+        for d in deltas {
+            *counts.entry((d.start, d.len)).or_insert(0) += if d.created { 1 } else { -1 };
+        }
+        counts.retain(|span, &mut c| {
+            assert!(c >= 0, "span {span:?} destroyed more often than created");
+            c != 0
+        });
+    }
+
+    /// The live span multiset from [`Sequitur::occurrences`].
+    fn occurrence_counts(s: &Sequitur) -> std::collections::HashMap<(usize, usize), i64> {
+        let mut counts = std::collections::HashMap::new();
+        for o in s.occurrences() {
+            *counts.entry((o.start, o.len)).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// The tentpole differential at the engine level: after **every**
+    /// push, the delta-accumulated span multiset equals the
+    /// `occurrences()` span multiset exactly.
+    fn assert_deltas_track_occurrences(input: &[u32]) {
+        let mut s = Sequitur::new();
+        s.set_delta_tracking(true);
+        let mut counts = std::collections::HashMap::new();
+        for (i, &t) in input.iter().enumerate() {
+            s.push(t);
+            fold_deltas(&mut counts, &s.take_deltas());
+            assert_eq!(counts, occurrence_counts(&s), "after push {i} of {input:?}");
+        }
+    }
+
+    #[test]
+    fn deltas_track_occurrences_per_push() {
+        assert_deltas_track_occurrences(&[]);
+        assert_deltas_track_occurrences(&[7]);
+        assert_deltas_track_occurrences(&[0, 1, 0, 1]);
+        // Paper Table 2: rule reuse of a full body.
+        assert_deltas_track_occurrences(&[0, 1, 2, 3, 4, 0, 1, 2]);
+        // Overlapping-digram runs: heavy rule churn, nested expansion.
+        assert_deltas_track_occurrences(&[5; 40]);
+        // Substitutions that retire digrams mid-rule, and expansions at
+        // utility 1 (rule churn under modular repetition).
+        let nested: Vec<u32> = (0..220).map(|i| (i % 7) as u32).collect();
+        assert_deltas_track_occurrences(&nested);
+        let quadratic: Vec<u32> = (0..300).map(|i| ((i * i) % 11) as u32).collect();
+        assert_deltas_track_occurrences(&quadratic);
+        let mixed: Vec<u32> = (0..260).map(|i| ((i * 13) % 9) as u32).collect();
+        assert_deltas_track_occurrences(&mixed);
+    }
+
+    #[test]
+    fn deltas_rebase_across_clear() {
+        let mut s = Sequitur::new();
+        s.set_delta_tracking(true);
+        for t in (0..150).map(|i| ((i * 7) % 12) as u32) {
+            s.push(t);
+        }
+        assert!(!s.take_deltas().is_empty());
+        for t in (0..10).map(|i| (i % 3) as u32) {
+            s.push(t);
+        }
+        // clear() drops the pending (stale-coordinate) deltas but keeps
+        // tracking on; a replay rebuilds the multiset from zero.
+        s.clear();
+        assert!(s.delta_tracking());
+        assert!(s.take_deltas().is_empty());
+        let mut counts = std::collections::HashMap::new();
+        for (i, t) in (0..200).map(|i| ((i * i) % 9) as u32).enumerate() {
+            s.push(t);
+            fold_deltas(&mut counts, &s.take_deltas());
+            assert_eq!(counts, occurrence_counts(&s), "after replay push {i}");
+        }
+    }
+
+    #[test]
+    fn delta_tracking_off_by_default_and_discards_when_disabled() {
+        let mut s = Sequitur::new();
+        assert!(!s.delta_tracking());
+        for t in [0u32, 1, 0, 1] {
+            s.push(t);
+        }
+        assert!(s.take_deltas().is_empty());
+        s.set_delta_tracking(true);
+        for t in [2u32, 0, 1, 2, 0, 1] {
+            s.push(t);
+        }
+        assert!(!s.deltas.is_empty());
+        s.set_delta_tracking(false);
+        assert!(s.take_deltas().is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_pending_deltas_and_tracking() {
+        let mut s = Sequitur::new();
+        s.set_delta_tracking(true);
+        let input: Vec<u32> = (0..120).map(|i| ((i * 5) % 8) as u32).collect();
+        for &t in &input {
+            s.push(t);
+        }
+        assert!(!s.deltas.is_empty(), "input should have induced rules");
+        let mut restored = Sequitur::from_value(&s.to_value()).expect("round trip");
+        assert!(restored.delta_tracking());
+        assert_eq!(restored.take_deltas(), s.take_deltas());
+        // Tracking continues identically after the restore.
+        let mut counts = occurrence_counts(&restored);
+        for t in (0..60).map(|i| ((i * 5) % 8) as u32) {
+            restored.push(t);
+            fold_deltas(&mut counts, &restored.take_deltas());
+        }
+        assert_eq!(counts, occurrence_counts(&restored));
     }
 
     #[test]

@@ -31,7 +31,7 @@
 mod engine;
 mod grammar;
 
-pub use engine::Sequitur;
+pub use engine::{OccDelta, Sequitur};
 pub use grammar::{Grammar, GrammarRule, RuleOccurrence, Symbol};
 
 /// Induces a grammar from a token iterator in one call.
